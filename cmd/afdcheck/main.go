@@ -1,0 +1,84 @@
+// Command afdcheck checks a JSON trace (as written by afdsim -json) against
+// a named specification: any AFD of the Section-3.3 zoo, or the consensus
+// problem of Section 9.1.
+//
+// Examples:
+//
+//	afdcheck -list
+//	afdcheck -fd FD-Ω -n 4 trace.json
+//	afdcheck -problem consensus -n 3 -f 1 trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/afd"
+	"repro/internal/consensus"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "afdcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		family   = flag.String("fd", "", "failure-detector family to check against")
+		problem  = flag.String("problem", "", "problem to check against: consensus")
+		n        = flag.Int("n", 3, "number of locations")
+		f        = flag.Int("f", 1, "crash bound for -problem consensus")
+		window   = flag.Int("window", 1, "stable-suffix window (outputs per live location)")
+		prefix   = flag.Bool("prefix", false, "prefix mode: enforce only safety clauses (refutable on a prefix)")
+		complete = flag.Bool("complete", true, "treat the trace as a complete run (termination enforced)")
+		list     = flag.Bool("list", false, "list known detector families and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, fam := range afd.Families(*n) {
+			fmt.Println(fam)
+		}
+		return nil
+	}
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: afdcheck [-fd FAMILY | -problem consensus] FILE.json")
+	}
+	file, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	tr, err := trace.ReadJSON(file)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d events read\n", len(tr))
+
+	switch {
+	case *family != "":
+		d, err := afd.Lookup(*family, *n)
+		if err != nil {
+			return err
+		}
+		w := afd.Window{MinOutputsPerLive: *window, MinStableOutputs: *window, Prefix: *prefix}
+		if err := d.Check(trace.FD(tr, *family), *n, w); err != nil {
+			return fmt.Errorf("trace ∉ T(%s): %w", *family, err)
+		}
+		fmt.Printf("trace ∈ T(%s)\n", *family)
+		return nil
+	case *problem == "consensus":
+		spec := consensus.Spec{N: *n, F: *f}
+		if err := spec.Check(consensus.ProjectIO(tr), *complete); err != nil {
+			return fmt.Errorf("trace ∉ TP: %w", err)
+		}
+		fmt.Println("trace ∈ TP (f-crash-tolerant binary consensus)")
+		return nil
+	default:
+		return fmt.Errorf("one of -fd or -problem is required (or -list)")
+	}
+}

@@ -1,0 +1,106 @@
+// Broadcast: the two broadcast problems the paper names — Uniform Reliable
+// Broadcast (§1.1) and Terminating Reliable Broadcast (§7.3) — solved and
+// checked.  URB runs twice: the detector-free majority-diffusion algorithm
+// (f < n/2) and the P-based variant that rides out n−1 crashes.  TRB runs
+// with a live and with a crashing sender; the crashing sender yields the
+// agreed "sender faulty" verdict.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/afd"
+	"repro/internal/ioa"
+	"repro/internal/problems"
+	"repro/internal/sched"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+func main() {
+	urb("majority diffusion, no detector, f<n/2", false, 3, []ioa.Loc{2})
+	urb("over P, f≤n−1", true, 3, []ioa.Loc{0, 1})
+	trb("live sender", nil)
+	trb("crashing sender", []ioa.Loc{0})
+}
+
+func urb(label string, perfect bool, n int, crash []ioa.Loc) {
+	var procs []ioa.Automaton
+	var err error
+	if perfect {
+		procs, err = problems.URBPerfectProcs(n, afd.FamilyP)
+	} else {
+		procs = problems.URBMajorityProcs(n)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	autos := procs
+	autos = append(autos, system.Channels(n)...)
+	for i := 0; i < n; i++ {
+		autos = append(autos, problems.NewBroadcasterEnv(ioa.Loc(i), fmt.Sprintf("m%d", i)))
+	}
+	if perfect {
+		d, err := afd.Lookup(afd.FamilyP, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		autos = append(autos, d.Automaton(n))
+	}
+	autos = append(autos, system.NewCrash(system.CrashOf(crash...)))
+	sys := ioa.MustNewSystem(autos...)
+	sched.RoundRobin(sys, sched.Options{MaxSteps: 30_000, Gate: sched.CrashesAfter(20, 20)})
+
+	tr := trace.Project(sys.Trace(), func(a ioa.Action) bool {
+		return a.Kind == ioa.KindCrash ||
+			(a.Kind == ioa.KindEnvIn && a.Name == problems.ActNameBroadcast) ||
+			(a.Kind == ioa.KindEnvOut && a.Name == problems.ActNameDeliver)
+	})
+	if err := (problems.URBSpec{N: n}).Check(tr, true); err != nil {
+		log.Fatalf("URB %s: %v", label, err)
+	}
+	delivers := trace.Count(tr, func(a ioa.Action) bool { return a.Kind == ioa.KindEnvOut })
+	fmt.Printf("URB %-38s n=%d crashes=%d: %2d deliveries, uniform agreement holds\n",
+		label, n, len(crash), delivers)
+}
+
+func trb(label string, crash []ioa.Loc) {
+	const n = 3
+	procs, err := problems.TRBProcs(n, 0, afd.FamilyP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := afd.Lookup(afd.FamilyP, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	autos := procs
+	autos = append(autos, system.Channels(n)...)
+	autos = append(autos, problems.NewTRBSenderEnv(0, "the-value"))
+	autos = append(autos, d.Automaton(n))
+	autos = append(autos, system.NewCrash(system.CrashOf(crash...)))
+	sys := ioa.MustNewSystem(autos...)
+	opts := sched.Options{MaxSteps: 60_000}
+	if len(crash) > 0 {
+		opts.Gate = sched.CrashesAfter(10, 10)
+	}
+	sched.RoundRobin(sys, opts)
+
+	tr := trace.Project(sys.Trace(), func(a ioa.Action) bool {
+		return a.Kind == ioa.KindCrash ||
+			(a.Kind == ioa.KindEnvIn && a.Name == problems.ActNameTRBBcast) ||
+			(a.Kind == ioa.KindEnvOut && a.Name == problems.ActNameTRBDeliver)
+	})
+	if err := (problems.TRBSpec{N: n, Sender: 0}).Check(tr, true); err != nil {
+		log.Fatalf("TRB %s: %v", label, err)
+	}
+	verdict := "(none)"
+	for _, a := range tr {
+		if a.Kind == ioa.KindEnvOut {
+			verdict = a.Payload
+			break
+		}
+	}
+	fmt.Printf("TRB %-38s n=%d crashes=%d: agreed verdict %q\n", label, n, len(crash), verdict)
+}

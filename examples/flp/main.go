@@ -1,0 +1,59 @@
+// FLP control experiment: the same consensus algorithm, the same crash of
+// the round-1 coordinator, run twice — once with no failure detector (the
+// processes wait forever for the dead coordinator: termination fails,
+// consistent with the impossibility of [11]) and once with Ω (the leader
+// moves off the dead location and the run decides, Section 9).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/afd"
+	"repro/internal/consensus"
+	"repro/internal/ioa"
+)
+
+func run(family string, det ioa.Automaton) *consensus.Result {
+	res, err := consensus.Run(consensus.RunSpec{
+		Build: consensus.BuildSpec{
+			N:      3,
+			Family: family,
+			Det:    det,
+			Crash:  []ioa.Loc{0}, // round-1 coordinator
+			Values: []int{0, 1, 1},
+		},
+		Steps: 100_000,
+		Seed:  -1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	// Without any detector the run stalls: the coordinator is dead, nobody
+	// may ever suspect it, and waiting forever is the only safe behavior.
+	bare := run("", nil)
+	fmt.Printf("no detector: %d decisions after %d steps (%s)\n",
+		bare.Decisions, bare.Steps, bare.Reason)
+	if bare.Decisions != 0 {
+		log.Fatal("expected a stall without failure detection")
+	}
+
+	// With Ω, the detector's eventual leadership information is exactly
+	// what breaks the symmetry: the run decides.
+	omega, err := afd.Lookup(afd.FamilyOmega, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	with := run(afd.FamilyOmega, omega.Automaton(3))
+	fmt.Printf("with Ω:      %d decisions after %d steps (%s), value %q\n",
+		with.Decisions, with.Steps, with.Reason, with.Value)
+	if !with.AllDecided {
+		log.Fatal("expected a decision with Ω")
+	}
+	fmt.Println("\nthe only difference between the runs is the AFD — its crash")
+	fmt.Println("information is what circumvents the FLP impossibility")
+}

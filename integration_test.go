@@ -1,0 +1,150 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/afd"
+	"repro/internal/consensus"
+	"repro/internal/ioa"
+	"repro/internal/sched"
+	"repro/internal/selfimpl"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/transform"
+)
+
+// TestTheorem16EndToEnd composes, in a single system, the canonical P
+// automaton, the P→Ω reduction, and the Ω-driven consensus algorithm — the
+// construction of Lemma 16: since P ⪰ Ω, P solves every problem Ω solves,
+// by stacking the reduction under the Ω-based algorithm.  The consensus
+// specification must hold on the composite trace.
+func TestTheorem16EndToEnd(t *testing.T) {
+	const n = 3
+	var pToOmega transform.Local
+	for _, l := range transform.Catalog() {
+		if l.Name == "P→Ω" {
+			pToOmega = l
+		}
+	}
+
+	src, err := afd.Lookup(afd.FamilyP, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{-1, 1, 2} {
+		// Automata are mutable: every run needs fresh instances.
+		consProcs, err := consensus.Procs(n, afd.FamilyOmega)
+		if err != nil {
+			t.Fatal(err)
+		}
+		autos := []ioa.Automaton{src.Automaton(n)}
+		autos = append(autos, pToOmega.Procs(n)...)
+		autos = append(autos, consProcs...)
+		autos = append(autos, system.Channels(n)...)
+		autos = append(autos, system.ConsensusEnvsFixed([]int{1, 0, 1})...)
+		autos = append(autos, system.NewCrash(system.CrashOf(0)))
+		sys, err := ioa.NewSystem(autos...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Hide the intermediate P outputs: the composite's external
+		// detector interface is the derived Ω (Section 2.3 hiding).
+		sys.Hide(func(a ioa.Action) bool { return a.Kind == ioa.KindFD && a.Name == afd.FamilyP })
+
+		decided := make(map[ioa.Loc]bool)
+		crashed := make(map[ioa.Loc]bool)
+		opts := sched.Options{
+			MaxSteps: 200_000,
+			Gate:     sched.CrashesAfter(40, 0),
+			Stop: func(_ *ioa.System, last ioa.Action) bool {
+				switch {
+				case last.Kind == ioa.KindCrash:
+					crashed[last.Loc] = true
+				case last.Kind == ioa.KindEnvOut && last.Name == system.ActNameDecide:
+					decided[last.Loc] = true
+				}
+				for i := 0; i < n; i++ {
+					if !crashed[ioa.Loc(i)] && !decided[ioa.Loc(i)] {
+						return false
+					}
+				}
+				return true
+			},
+		}
+		var res sched.Result
+		if seed >= 0 {
+			res = sched.Random(sys, seed, opts)
+		} else {
+			res = sched.RoundRobin(sys, opts)
+		}
+		if res.Reason != sched.StopCondition {
+			t.Fatalf("seed %d: run ended %s without full decision", seed, res.Reason)
+		}
+		spec := consensus.Spec{N: n, F: 1}
+		if err := spec.Check(consensus.ProjectIO(sys.Trace()), true); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// The hidden P events must not leak into the external trace.
+		for _, a := range sys.Trace() {
+			if a.Kind == ioa.KindFD && a.Name == afd.FamilyP {
+				t.Fatalf("seed %d: hidden P event leaked: %v", seed, a)
+			}
+		}
+	}
+}
+
+// TestSelfImplementationUnderConsensus stacks Algorithm 3 *between* the
+// detector and the algorithm: consensus consumes the renamed detector
+// family, exercising self-implementability as a transparent shim — the
+// practical content of Theorem 13.
+func TestSelfImplementationUnderConsensus(t *testing.T) {
+	const n = 3
+	renamed := afd.FamilyOmega + "'"
+	src, err := afd.Lookup(afd.FamilyOmega, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ren := selfimpl.Renaming{From: afd.FamilyOmega, To: renamed}
+
+	// Consensus processes subscribed to the *renamed* family, with leader
+	// suspectors (the adapter only reads payloads, which renaming keeps).
+	procs := make([]ioa.Automaton, n)
+	for i := 0; i < n; i++ {
+		m := consensus.NewCTMachine(n, ioa.Loc(i), consensus.NewLeaderSuspector())
+		procs[i] = system.NewProc("ct", ioa.Loc(i), n, m, []string{renamed}, []string{system.ActNamePropose})
+	}
+
+	autos := []ioa.Automaton{src.Automaton(n)}
+	autos = append(autos, selfimpl.NewCollection(n, ren)...)
+	autos = append(autos, procs...)
+	autos = append(autos, system.Channels(n)...)
+	autos = append(autos, system.ConsensusEnvsFixed([]int{0, 1, 0})...)
+	autos = append(autos, system.NewCrash(system.CrashOf(2)))
+	sys, err := ioa.NewSystem(autos...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	decisions := 0
+	res := sched.RoundRobin(sys, sched.Options{
+		MaxSteps: 200_000,
+		Gate:     sched.CrashesAfter(60, 0),
+		Stop: func(_ *ioa.System, last ioa.Action) bool {
+			if last.Kind == ioa.KindEnvOut && last.Name == system.ActNameDecide {
+				decisions++
+			}
+			return decisions == 2 // locations 0 and 1 (2 crashes)
+		},
+	})
+	if res.Reason != sched.StopCondition {
+		t.Fatalf("run ended %s with %d decisions", res.Reason, decisions)
+	}
+	if err := (consensus.Spec{N: n, F: 1}).Check(consensus.ProjectIO(sys.Trace()), true); err != nil {
+		t.Fatal(err)
+	}
+	// The renamed stream itself is an admissible Ω trace (Theorem 13).
+	back := ren.InvertTrace(trace.FD(sys.Trace(), renamed))
+	if err := src.Check(back, n, afd.DefaultWindow()); err != nil {
+		t.Fatalf("renamed detector stream not admissible: %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+package afd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// This file makes the two closure properties of the AFD definition
+// (Section 3.2) executable: given a detector and an admissible trace, every
+// sampling and every constrained reordering of the trace must again be
+// admissible.  The harness draws random samplings/reorderings, verifies them
+// against the Section-3.2 definitions with the trace-calculus verifiers, and
+// re-runs the detector's membership checker on each.
+
+// CheckClosureUnderSampling draws rounds random samplings of t (which must
+// be admissible for d) and verifies each is (a) a sampling per Section 3.2
+// and (b) still accepted by d's checker.
+//
+// The liveness window is relaxed for the derived traces: sampling may remove
+// output events at faulty locations only, so live-location windows are
+// preserved and the same window is used.
+func CheckClosureUnderSampling(d Detector, t trace.T, n int, w Window, rounds int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	isOut := IsOutput(d.Family())
+	for r := 0; r < rounds; r++ {
+		s := trace.GenSampling(t, n, isOut, rng)
+		if err := trace.IsSampling(s, t, n, isOut); err != nil {
+			return fmt.Errorf("afd: generated sampling invalid (round %d): %v", r, err)
+		}
+		if err := d.Check(s, n, w); err != nil {
+			return fmt.Errorf("afd: sampling of admissible trace rejected (round %d): %v", r, err)
+		}
+	}
+	return nil
+}
+
+// CheckClosureUnderReordering draws rounds random constrained reorderings of
+// t (which must be admissible for d) and verifies each is (a) a constrained
+// reordering per Section 3.2 and (b) still accepted by d's checker in
+// *prefix* mode.
+//
+// Prefix mode is the correct finite reading here: closure under constrained
+// reordering is a statement about complete (infinite) traces, and on a
+// finite window a reordering may legally move pre-crash outputs past the
+// end of the observation — the result is a prefix of an admissible trace
+// whose stabilized suffix lies beyond the window, so only the refutable
+// (safety) clauses can be demanded of it.  The caller's window supplies
+// MinOutputsPerLive context but its eventual clauses are not enforced.
+func CheckClosureUnderReordering(d Detector, t trace.T, n int, w Window, rounds int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	pw := w
+	pw.Prefix = true
+	for r := 0; r < rounds; r++ {
+		p := trace.GenConstrainedReordering(t, rng)
+		if err := trace.IsConstrainedReordering(p, t); err != nil {
+			return fmt.Errorf("afd: generated reordering invalid (round %d): %v", r, err)
+		}
+		if err := d.Check(p, n, pw); err != nil {
+			return fmt.Errorf("afd: constrained reordering of admissible trace rejected (round %d): %v", r, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package afd
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+// TestAutomatonContracts applies the shared structural contract to every
+// detector's canonical automaton, fresh and after a crash input.
+func TestAutomatonContracts(t *testing.T) {
+	const n = 3
+	for fam, d := range Standard(n) {
+		fresh := d.Automaton(n)
+		if err := ioa.CheckAutomatonContract(fresh); err != nil {
+			t.Errorf("%s fresh: %v", fam, err)
+		}
+		advanced := d.Automaton(n)
+		advanced.Input(ioa.Crash(1))
+		advanced.Fire(ioa.FDOutput(fam, 0, ""))
+		if err := ioa.CheckAutomatonContract(advanced); err != nil {
+			t.Errorf("%s advanced: %v", fam, err)
+		}
+	}
+	for _, a := range []ioa.Automaton{
+		MaraboutOracle(n, []ioa.Loc{1}),
+		MaraboutHonest(n),
+		PPlus{}.Automaton(n),
+	} {
+		if err := ioa.CheckAutomatonContract(a); err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package afd
+
+import (
+	"repro/internal/ioa"
+	"repro/internal/trace"
+)
+
+// Output families of the remaining Chandra-Toueg detectors (Section 3.3
+// notes all eight detectors of [5] are expressible as AFDs; P and ◇P are
+// spelled out in the paper, and S, W, Q and their eventual variants follow
+// the same suspicion-set pattern).
+const (
+	FamilyS   = "FD-S"
+	FamilyW   = "FD-W"
+	FamilyQ   = "FD-Q"
+	FamilyEvS = "FD-◇S"
+	FamilyEvW = "FD-◇W"
+	FamilyEvQ = "FD-◇Q"
+)
+
+// Strong is the strong failure detector S: strong completeness (eventually
+// every output suspects every faulty location) plus perpetual weak accuracy
+// (some live location is never suspected).
+//
+// The canonical automaton outputs exactly crashset: any automaton without
+// knowledge of the future fault pattern can only guarantee *perpetual* weak
+// accuracy by never suspecting a location that might stay live, so sound
+// suspicions are the canonical realization; TS ⊋ TP is witnessed at the
+// specification level by checker tests on handcrafted traces.
+type Strong struct{}
+
+var _ Detector = Strong{}
+
+// Family implements Detector.
+func (Strong) Family() string { return FamilyS }
+
+// Automaton implements Detector.
+func (Strong) Automaton(n int) ioa.Automaton { return crashsetGenerator(FamilyS, n) }
+
+// Check implements Detector.
+func (Strong) Check(t trace.T, n int, w Window) error {
+	if err := CheckValidity(t, n, FamilyS, w); err != nil {
+		return err
+	}
+	return checkSuspicions(t, n, FamilyS, w, completenessStrong|accuracyWeak)
+}
+
+// Weak is the weak failure detector W: weak completeness (every faulty
+// location is eventually permanently suspected by some live location) plus
+// perpetual weak accuracy.
+type Weak struct{}
+
+var _ Detector = Weak{}
+
+// Family implements Detector.
+func (Weak) Family() string { return FamilyW }
+
+// Automaton implements Detector: the min-live location reports crashset,
+// everyone else reports the empty set — weakly but not strongly complete.
+func (Weak) Automaton(n int) ioa.Automaton { return minLiveGenerator(FamilyW, n) }
+
+// Check implements Detector.
+func (Weak) Check(t trace.T, n int, w Window) error {
+	if err := CheckValidity(t, n, FamilyW, w); err != nil {
+		return err
+	}
+	return checkSuspicions(t, n, FamilyW, w, completenessWeak|accuracyWeak)
+}
+
+// QDetector is the detector Q: weak completeness plus perpetual strong
+// accuracy (no location is suspected before its crash event).
+type QDetector struct{}
+
+var _ Detector = QDetector{}
+
+// Family implements Detector.
+func (QDetector) Family() string { return FamilyQ }
+
+// Automaton implements Detector.
+func (QDetector) Automaton(n int) ioa.Automaton { return minLiveGenerator(FamilyQ, n) }
+
+// Check implements Detector.
+func (QDetector) Check(t trace.T, n int, w Window) error {
+	if err := CheckValidity(t, n, FamilyQ, w); err != nil {
+		return err
+	}
+	return checkSuspicions(t, n, FamilyQ, w, completenessWeak|accuracyPerpetual)
+}
+
+// EvStrong is ◇S: strong completeness plus eventual weak accuracy.  The
+// canonical automaton suspects everything but itself for the first Perverse
+// outputs per location, then exactly crashset; for Perverse > 0 its traces
+// witness T◇S ⊋ TS.
+type EvStrong struct{ Perverse int }
+
+var _ Detector = EvStrong{}
+
+// Family implements Detector.
+func (EvStrong) Family() string { return FamilyEvS }
+
+// Automaton implements Detector.
+func (d EvStrong) Automaton(n int) ioa.Automaton {
+	return perverseGenerator(FamilyEvS, n, d.Perverse)
+}
+
+// Check implements Detector.
+func (EvStrong) Check(t trace.T, n int, w Window) error {
+	if err := CheckValidity(t, n, FamilyEvS, w); err != nil {
+		return err
+	}
+	return checkSuspicions(t, n, FamilyEvS, w, completenessStrong|accuracyEventualWeak)
+}
+
+// EvWeak is ◇W: weak completeness plus eventual weak accuracy.
+type EvWeak struct{}
+
+var _ Detector = EvWeak{}
+
+// Family implements Detector.
+func (EvWeak) Family() string { return FamilyEvW }
+
+// Automaton implements Detector.
+func (EvWeak) Automaton(n int) ioa.Automaton { return minLiveGenerator(FamilyEvW, n) }
+
+// Check implements Detector.
+func (EvWeak) Check(t trace.T, n int, w Window) error {
+	if err := CheckValidity(t, n, FamilyEvW, w); err != nil {
+		return err
+	}
+	return checkSuspicions(t, n, FamilyEvW, w, completenessWeak|accuracyEventualWeak)
+}
+
+// EvQ is ◇Q: weak completeness plus eventual strong accuracy.
+type EvQ struct{}
+
+var _ Detector = EvQ{}
+
+// Family implements Detector.
+func (EvQ) Family() string { return FamilyEvQ }
+
+// Automaton implements Detector.
+func (EvQ) Automaton(n int) ioa.Automaton { return minLiveGenerator(FamilyEvQ, n) }
+
+// Check implements Detector.
+func (EvQ) Check(t trace.T, n int, w Window) error {
+	if err := CheckValidity(t, n, FamilyEvQ, w); err != nil {
+		return err
+	}
+	return checkSuspicions(t, n, FamilyEvQ, w, completenessWeak|accuracyEventualStrong)
+}
+
+// crashsetGenerator outputs exactly crashset everywhere (Algorithm 2 shape).
+func crashsetGenerator(family string, n int) ioa.Automaton {
+	return NewGenerator(family, n, func(st *GenState, _ ioa.Loc) string {
+		return ioa.EncodeLocSet(st.CrashSet())
+	})
+}
+
+// minLiveGenerator outputs crashset at min(Π \ crashset) and ∅ elsewhere —
+// weakly but (with ≥ 2 live locations and ≥ 1 fault) not strongly complete.
+func minLiveGenerator(family string, n int) ioa.Automaton {
+	return NewGenerator(family, n, func(st *GenState, i ioa.Loc) string {
+		if i == st.MinLive() {
+			return ioa.EncodeLocSet(st.CrashSet())
+		}
+		return ioa.EncodeLocSet(nil)
+	})
+}
+
+// perverseGenerator suspects Π \ {i} for the first k outputs at each
+// location i, then exactly crashset.
+func perverseGenerator(family string, n, k int) ioa.Automaton {
+	return NewGenerator(family, n, func(st *GenState, i ioa.Loc) string {
+		if st.Emitted[i] < k {
+			wrong := make(map[ioa.Loc]bool)
+			for j := 0; j < st.N; j++ {
+				if ioa.Loc(j) != i {
+					wrong[ioa.Loc(j)] = true
+				}
+			}
+			return ioa.EncodeLocSet(wrong)
+		}
+		return ioa.EncodeLocSet(st.CrashSet())
+	})
+}

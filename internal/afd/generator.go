@@ -1,0 +1,144 @@
+package afd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ioa"
+)
+
+// OutputFunc computes the payload of the next output event at location i
+// from the generator's state.  It must be a pure function of the state so
+// the automaton stays deterministic (Section 2.5).
+type OutputFunc func(st *GenState, i ioa.Loc) string
+
+// GenState is the observable state of a generator automaton: which locations
+// have crashed (the crashset variable of Algorithms 1 and 2) and how many
+// outputs have been emitted at each location (used by detectors that exhibit
+// a deliberately inaccurate prefix before stabilizing, e.g. ◇P).
+type GenState struct {
+	N       int
+	Crashed []bool
+	Emitted []int
+}
+
+// CrashSet returns the crashed locations as a set.
+func (s *GenState) CrashSet() map[ioa.Loc]bool {
+	set := make(map[ioa.Loc]bool)
+	for i, c := range s.Crashed {
+		if c {
+			set[ioa.Loc(i)] = true
+		}
+	}
+	return set
+}
+
+// LiveSet returns the complement of the crash set.
+func (s *GenState) LiveSet() map[ioa.Loc]bool {
+	set := make(map[ioa.Loc]bool)
+	for i, c := range s.Crashed {
+		if !c {
+			set[ioa.Loc(i)] = true
+		}
+	}
+	return set
+}
+
+// MinLive returns min(Π \ crashset), or NoLoc if every location crashed.
+func (s *GenState) MinLive() ioa.Loc {
+	for i, c := range s.Crashed {
+		if !c {
+			return ioa.Loc(i)
+		}
+	}
+	return ioa.NoLoc
+}
+
+// Generator is the generic failure-detector automaton underlying Algorithms
+// 1 and 2: inputs are exactly the crash actions; there is one task per
+// location whose single enabled action (while the location is un-crashed) is
+// the family's output at that location with a payload computed by an
+// OutputFunc from the crash set and emission counters.
+type Generator struct {
+	family string
+	out    OutputFunc
+	st     GenState
+}
+
+var _ ioa.Automaton = (*Generator)(nil)
+
+// NewGenerator builds a generator automaton for the given output family.
+func NewGenerator(family string, n int, out OutputFunc) *Generator {
+	return &Generator{
+		family: family,
+		out:    out,
+		st: GenState{
+			N:       n,
+			Crashed: make([]bool, n),
+			Emitted: make([]int, n),
+		},
+	}
+}
+
+// Name implements ioa.Automaton.
+func (g *Generator) Name() string { return "gen:" + g.family }
+
+// Accepts implements ioa.Automaton: crash actions only (crash exclusivity).
+func (g *Generator) Accepts(a ioa.Action) bool { return a.Kind == ioa.KindCrash }
+
+// Input implements ioa.Automaton: crashi adds i to the crash set.
+func (g *Generator) Input(a ioa.Action) {
+	if int(a.Loc) < len(g.st.Crashed) {
+		g.st.Crashed[a.Loc] = true
+	}
+}
+
+// NumTasks implements ioa.Automaton: one task per location (Algorithm 1).
+func (g *Generator) NumTasks() int { return g.st.N }
+
+// TaskLabel implements ioa.Automaton.
+func (g *Generator) TaskLabel(t int) string { return fmt.Sprintf("%s@%d", g.family, t) }
+
+// Enabled implements ioa.Automaton: while i has not crashed, the output at i
+// with the payload the OutputFunc computes (precondition i ∉ crashset).
+func (g *Generator) Enabled(t int) (ioa.Action, bool) {
+	if g.st.Crashed[t] {
+		return ioa.Action{}, false
+	}
+	return ioa.FDOutput(g.family, ioa.Loc(t), g.out(&g.st, ioa.Loc(t))), true
+}
+
+// Fire implements ioa.Automaton.
+func (g *Generator) Fire(a ioa.Action) { g.st.Emitted[a.Loc]++ }
+
+// Clone implements ioa.Automaton.
+func (g *Generator) Clone() ioa.Automaton {
+	c := &Generator{family: g.family, out: g.out, st: GenState{N: g.st.N}}
+	c.st.Crashed = append([]bool(nil), g.st.Crashed...)
+	c.st.Emitted = append([]int(nil), g.st.Emitted...)
+	return c
+}
+
+// Encode implements ioa.Automaton.
+func (g *Generator) Encode() string {
+	var b strings.Builder
+	b.WriteString("G:")
+	b.WriteString(g.family)
+	b.WriteByte('|')
+	for i := 0; i < g.st.N; i++ {
+		if g.st.Crashed[i] {
+			b.WriteByte('x')
+		} else {
+			b.WriteByte('.')
+		}
+	}
+	b.WriteByte('|')
+	for i, e := range g.st.Emitted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(e))
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package afd
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/trace"
+)
+
+// This file covers Section 3.4: failure detectors that are *not* AFDs.
+//
+// The Marabout detector [14] always outputs exactly the set of locations
+// that are faulty in the whole trace — including before any of them has
+// crashed.  No automaton whose only inputs are the crash events can generate
+// such traces, because in the I/O-automata framework it would have to
+// predict the future fault pattern.  We provide the specification checker
+// and a deliberately *non-causal* oracle that is constructed from the fault
+// plan ahead of time; the oracle exists only to exercise the checker and to
+// make the paper's point executable — see TestMaraboutRequiresClairvoyance.
+//
+// The detector Dk [3], which is accurate only about crashes occurring after
+// real time k, cannot even be *specified* here: the framework has no real
+// time, which is exactly the paper's argument.  It appears only in
+// documentation.
+
+// FamilyMarabout is the output family of the Marabout detector.
+const FamilyMarabout = "FD-Marabout"
+
+// CheckMarabout verifies the Marabout specification on a finite trace: every
+// output event's payload equals faulty(t) — the final fault set — even for
+// outputs occurring before the crashes.
+func CheckMarabout(t trace.T, n int, w Window) error {
+	if err := CheckValidity(t, n, FamilyMarabout, w); err != nil {
+		return err
+	}
+	want := ioa.EncodeLocSet(trace.Faulty(t))
+	for _, a := range t {
+		if a.Kind == ioa.KindFD && a.Name == FamilyMarabout && a.Payload != want {
+			return fmt.Errorf("afd: Marabout output %v differs from final fault set %s", a, want)
+		}
+	}
+	return nil
+}
+
+// MaraboutOracle is the non-causal generator: it is told the complete fault
+// pattern at construction time and outputs it from the start.  It is not a
+// failure-detector automaton in the paper's sense — its output function
+// reads the future — and it exists to demonstrate Section 3.4: removing the
+// clairvoyance (using crashset instead, as any honest automaton must) makes
+// the Marabout checker reject as soon as a crash occurs after the first
+// output.
+func MaraboutOracle(n int, willCrash []ioa.Loc) ioa.Automaton {
+	future := make(map[ioa.Loc]bool, len(willCrash))
+	for _, l := range willCrash {
+		future[l] = true
+	}
+	payload := ioa.EncodeLocSet(future)
+	return NewGenerator(FamilyMarabout, n, func(*GenState, ioa.Loc) string {
+		return payload
+	})
+}
+
+// MaraboutHonest is the best causal attempt at Marabout: output crashset.
+// Its traces violate CheckMarabout whenever a crash follows an output,
+// demonstrating non-implementability.
+func MaraboutHonest(n int) ioa.Automaton {
+	return NewGenerator(FamilyMarabout, n, func(st *GenState, _ ioa.Loc) string {
+		return ioa.EncodeLocSet(st.CrashSet())
+	})
+}

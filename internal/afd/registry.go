@@ -1,0 +1,53 @@
+package afd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Standard returns the detector zoo of Section 3.3 instantiated with
+// conventional parameters for an n-location system: the eight Chandra-Toueg
+// detectors, Ω, Σ, anti-Ω, Ωk and Ψk (k = ⌈n/2⌉), keyed by family name.
+func Standard(n int) map[string]Detector {
+	k := (n + 1) / 2
+	ds := []Detector{
+		Perfect{},
+		EvPerfect{Perverse: 2},
+		Strong{},
+		EvStrong{Perverse: 2},
+		Weak{},
+		EvWeak{},
+		QDetector{},
+		EvQ{},
+		Omega{},
+		Sigma{},
+		AntiOmega{},
+		OmegaK{K: k},
+		PsiK{K: k},
+	}
+	m := make(map[string]Detector, len(ds))
+	for _, d := range ds {
+		m[d.Family()] = d
+	}
+	return m
+}
+
+// Lookup returns the standard detector with the given family name.
+func Lookup(family string, n int) (Detector, error) {
+	d, ok := Standard(n)[family]
+	if !ok {
+		return nil, fmt.Errorf("afd: unknown detector family %q (known: %v)", family, Families(n))
+	}
+	return d, nil
+}
+
+// Families returns the sorted family names of the standard zoo.
+func Families(n int) []string {
+	m := Standard(n)
+	out := make([]string, 0, len(m))
+	for f := range m {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,68 @@
+package afd
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/sched"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// RunSpec configures a canonical detector run.
+type RunSpec struct {
+	N         int       // number of locations
+	Crash     []ioa.Loc // fault pattern, in crash order
+	Steps     int       // step bound (default 64·N)
+	Seed      int64     // <0: fair round-robin; ≥0: seeded random schedule
+	CrashGate int       // release the k-th crash after CrashGate·(k+1) events
+}
+
+func (s RunSpec) steps() int {
+	if s.Steps <= 0 {
+		return 64 * s.N
+	}
+	return s.Steps
+}
+
+// RunAutomaton composes an arbitrary failure-detector automaton with a crash
+// automaton for the given fault pattern, runs a fair round-robin schedule to
+// the step bound, and returns the trace projected onto Iˆ plus the family's
+// outputs.
+func RunAutomaton(auto ioa.Automaton, family string, crash []ioa.Loc, steps, crashGate int) (trace.T, error) {
+	sys, err := ioa.NewSystem(auto, system.NewCrash(system.CrashOf(crash...)))
+	if err != nil {
+		return nil, fmt.Errorf("afd: composing run: %w", err)
+	}
+	opts := sched.Options{MaxSteps: steps}
+	if crashGate > 0 {
+		opts.Gate = sched.CrashesAfter(crashGate, crashGate)
+	}
+	sched.RoundRobin(sys, opts)
+	return trace.FD(sys.Trace(), family), nil
+}
+
+// RunCanonical composes d's canonical automaton with a crash automaton for
+// the given fault pattern, runs it to the step bound, and returns the trace
+// projected onto Iˆ ∪ OD.  The result is a finite prefix of a fair trace of
+// the composition, hence (by the paper's solvability requirement on
+// specifications, Section 3.1) admissible for d's checker.
+func RunCanonical(d Detector, spec RunSpec) (trace.T, error) {
+	sys, err := ioa.NewSystem(
+		d.Automaton(spec.N),
+		system.NewCrash(system.CrashOf(spec.Crash...)),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("afd: composing canonical run: %w", err)
+	}
+	opts := sched.Options{MaxSteps: spec.steps()}
+	if spec.CrashGate > 0 {
+		opts.Gate = sched.CrashesAfter(spec.CrashGate, spec.CrashGate)
+	}
+	if spec.Seed >= 0 {
+		sched.Random(sys, spec.Seed, opts)
+	} else {
+		sched.RoundRobin(sys, opts)
+	}
+	return trace.FD(sys.Trace(), d.Family()), nil
+}

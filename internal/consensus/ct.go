@@ -1,0 +1,405 @@
+package consensus
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ioa"
+	"repro/internal/system"
+)
+
+// Message tags of the rotating-coordinator protocol.  Payload grammar:
+//
+//	E|r|est|ts  – phase 1: estimate (est, ts) sent to round r's coordinator
+//	C|r|est     – phase 2: coordinator's proposal for round r
+//	A|r         – phase 3: ack to round r's coordinator
+//	N|r         – phase 3: nack (coordinator suspected)
+//	D|est       – decision broadcast (reliable-broadcast by re-send)
+const (
+	tagEstimate = "E"
+	tagCoord    = "C"
+	tagAck      = "A"
+	tagNack     = "N"
+	tagDecide   = "D"
+)
+
+type estTS struct {
+	est string
+	ts  int
+}
+
+// CTMachine is the Chandra-Toueg-style rotating-coordinator consensus
+// machine hosted by a process automaton.  Round r's coordinator is location
+// (r−1) mod n.  The machine requires a majority of live locations
+// (f < ⌈n/2⌉) and a Suspector whose suspicions are eventually accurate and
+// complete enough for the detector class used (◇S suffices; P, ◇P and Ω
+// adapters all satisfy it).
+//
+// The machine is purely reactive: every transition is triggered by a
+// propose input, a message receipt, or a failure-detector input, and queues
+// its sends and decide output through Effects, matching the deterministic
+// single-task process automaton of Section 4.2.
+type CTMachine struct {
+	system.NopMachine
+	n    int
+	self ioa.Loc
+	susp Suspector
+
+	proposed bool
+	est      string
+	ts       int
+	round    int  // current round; 0 before propose
+	replied  bool // sent A/N (or self-adopted as coordinator) for round
+	sentC    bool // coordinator has sent C for the current round
+
+	// Per-round state for rounds ≥ round (earlier rounds are pruned).
+	ests  map[int]map[ioa.Loc]estTS
+	acks  map[int]map[ioa.Loc]bool
+	nacks map[int]map[ioa.Loc]bool
+	gotC  map[int]string
+
+	decided    bool
+	decidedVal string
+}
+
+var _ system.Machine = (*CTMachine)(nil)
+
+// NewCTMachine returns the consensus machine for location self of n.
+func NewCTMachine(n int, self ioa.Loc, susp Suspector) *CTMachine {
+	return &CTMachine{
+		n:     n,
+		self:  self,
+		susp:  susp,
+		ests:  make(map[int]map[ioa.Loc]estTS),
+		acks:  make(map[int]map[ioa.Loc]bool),
+		nacks: make(map[int]map[ioa.Loc]bool),
+		gotC:  make(map[int]string),
+	}
+}
+
+// Round returns the current round (a progress metric for experiments).
+func (m *CTMachine) Round() int { return m.round }
+
+// Decided reports whether this location has decided, and on what.
+func (m *CTMachine) Decided() (string, bool) { return m.decidedVal, m.decided }
+
+func (m *CTMachine) coord(r int) ioa.Loc { return ioa.Loc((r - 1) % m.n) }
+
+func (m *CTMachine) majority() int { return m.n/2 + 1 }
+
+// OnStart implements system.Machine: nothing happens before propose.
+func (m *CTMachine) OnStart(*system.Effects) {}
+
+// OnEnvInput implements system.Machine: propose starts round 1.
+func (m *CTMachine) OnEnvInput(name, payload string, e *system.Effects) {
+	if name != system.ActNamePropose || m.proposed || m.decided {
+		return
+	}
+	m.proposed = true
+	m.est = payload
+	m.ts = 0
+	m.startRound(1, e)
+}
+
+// OnFD implements system.Machine: refresh suspicions, which may unblock the
+// phase-3 wait on the current coordinator.
+func (m *CTMachine) OnFD(a ioa.Action, e *system.Effects) {
+	m.susp.Update(a)
+	if m.decided || !m.proposed {
+		return
+	}
+	m.maybeParticipant(e)
+}
+
+// OnReceive implements system.Machine.
+func (m *CTMachine) OnReceive(from ioa.Loc, msg string, e *system.Effects) {
+	if m.decided {
+		return
+	}
+	parts := strings.Split(msg, "|")
+	switch parts[0] {
+	case tagDecide:
+		if len(parts) == 2 {
+			m.decide(parts[1], e)
+		}
+	case tagEstimate:
+		if len(parts) != 4 {
+			return
+		}
+		r, err1 := strconv.Atoi(parts[1])
+		ts, err2 := strconv.Atoi(parts[3])
+		if err1 != nil || err2 != nil || r < m.round {
+			return
+		}
+		if m.ests[r] == nil {
+			m.ests[r] = make(map[ioa.Loc]estTS)
+		}
+		m.ests[r][from] = estTS{est: parts[2], ts: ts}
+		m.maybeCoord(e)
+	case tagCoord:
+		if len(parts) != 3 {
+			return
+		}
+		r, err := strconv.Atoi(parts[1])
+		if err != nil || r < m.round {
+			return
+		}
+		m.gotC[r] = parts[2]
+		m.maybeParticipant(e)
+	case tagAck, tagNack:
+		if len(parts) != 2 {
+			return
+		}
+		r, err := strconv.Atoi(parts[1])
+		if err != nil || r < m.round {
+			return
+		}
+		bucket := m.acks
+		if parts[0] == tagNack {
+			bucket = m.nacks
+		}
+		if bucket[r] == nil {
+			bucket[r] = make(map[ioa.Loc]bool)
+		}
+		bucket[r][from] = true
+		m.maybeCoord(e)
+	}
+}
+
+// startRound enters round r: prune stale per-round state, contribute the
+// phase-1 estimate, and run both roles' triggers.
+func (m *CTMachine) startRound(r int, e *system.Effects) {
+	m.round = r
+	m.replied = false
+	m.sentC = false
+	for _, prune := range []func(){
+		func() { pruneEst(m.ests, r) },
+		func() { pruneSet(m.acks, r) },
+		func() { pruneSet(m.nacks, r) },
+		func() { pruneStr(m.gotC, r) },
+	} {
+		prune()
+	}
+	c := m.coord(r)
+	if c == m.self {
+		if m.ests[r] == nil {
+			m.ests[r] = make(map[ioa.Loc]estTS)
+		}
+		m.ests[r][m.self] = estTS{est: m.est, ts: m.ts}
+		m.maybeCoord(e)
+	} else {
+		e.Send(c, fmt.Sprintf("%s|%d|%s|%d", tagEstimate, r, m.est, m.ts))
+		m.maybeParticipant(e)
+	}
+}
+
+// maybeParticipant runs the phase-3 wait of a non-coordinator: adopt the
+// coordinator's proposal and ack, or nack on suspicion; either way advance
+// to the next round.
+func (m *CTMachine) maybeParticipant(e *system.Effects) {
+	if m.decided || !m.proposed || m.replied {
+		return
+	}
+	r := m.round
+	c := m.coord(r)
+	if c == m.self {
+		return // coordinator duties live in maybeCoord
+	}
+	if v, ok := m.gotC[r]; ok {
+		m.est = v
+		m.ts = r
+		m.replied = true
+		e.Send(c, fmt.Sprintf("%s|%d", tagAck, r))
+		m.startRound(r+1, e)
+		return
+	}
+	if m.susp.Suspects(c) {
+		m.replied = true
+		e.Send(c, fmt.Sprintf("%s|%d", tagNack, r))
+		m.startRound(r+1, e)
+	}
+}
+
+// maybeCoord runs the coordinator's phases 2 and 4 for the current round.
+func (m *CTMachine) maybeCoord(e *system.Effects) {
+	if m.decided || !m.proposed {
+		return
+	}
+	r := m.round
+	if m.coord(r) != m.self {
+		return
+	}
+	maj := m.majority()
+	if !m.sentC && len(m.ests[r]) >= maj {
+		// Phase 2: adopt the estimate with the largest timestamp.
+		best := estTS{ts: -1}
+		// Deterministic tie-break: among equal timestamps prefer the
+		// estimate of the smallest location.
+		locs := make([]int, 0, len(m.ests[r]))
+		for l := range m.ests[r] {
+			locs = append(locs, int(l))
+		}
+		sort.Ints(locs)
+		for _, l := range locs {
+			et := m.ests[r][ioa.Loc(l)]
+			if et.ts > best.ts {
+				best = et
+			}
+		}
+		m.sentC = true
+		m.est = best.est
+		m.ts = r
+		e.Broadcast(m.n, fmt.Sprintf("%s|%d|%s", tagCoord, r, best.est))
+		// The coordinator is its own first participant: adopt and ack.
+		m.replied = true
+		if m.acks[r] == nil {
+			m.acks[r] = make(map[ioa.Loc]bool)
+		}
+		m.acks[r][m.self] = true
+	}
+	if !m.sentC {
+		return
+	}
+	// Phase 4.
+	if len(m.acks[r]) >= maj {
+		m.decide(m.est, e)
+		return
+	}
+	if len(m.acks[r])+len(m.nacks[r]) >= maj {
+		m.startRound(r+1, e)
+	}
+}
+
+// decide performs the reliable decision broadcast: re-broadcast D before
+// emitting the decide output, so any live receiver propagates the decision
+// even if this location crashes mid-broadcast.
+func (m *CTMachine) decide(v string, e *system.Effects) {
+	if m.decided {
+		return
+	}
+	m.decided = true
+	m.decidedVal = v
+	m.est = v
+	e.Broadcast(m.n, fmt.Sprintf("%s|%s", tagDecide, v))
+	e.Output(system.ActNameDecide, v)
+}
+
+// Clone implements system.Machine.
+func (m *CTMachine) Clone() system.Machine {
+	c := &CTMachine{
+		n: m.n, self: m.self, susp: m.susp.Clone(),
+		proposed: m.proposed, est: m.est, ts: m.ts,
+		round: m.round, replied: m.replied, sentC: m.sentC,
+		decided: m.decided, decidedVal: m.decidedVal,
+		ests:  make(map[int]map[ioa.Loc]estTS, len(m.ests)),
+		acks:  make(map[int]map[ioa.Loc]bool, len(m.acks)),
+		nacks: make(map[int]map[ioa.Loc]bool, len(m.nacks)),
+		gotC:  make(map[int]string, len(m.gotC)),
+	}
+	for r, mm := range m.ests {
+		inner := make(map[ioa.Loc]estTS, len(mm))
+		for l, v := range mm {
+			inner[l] = v
+		}
+		c.ests[r] = inner
+	}
+	for r, mm := range m.acks {
+		c.acks[r] = cloneLocSet(mm)
+	}
+	for r, mm := range m.nacks {
+		c.nacks[r] = cloneLocSet(mm)
+	}
+	for r, v := range m.gotC {
+		c.gotC[r] = v
+	}
+	return c
+}
+
+// Encode implements system.Machine.
+func (m *CTMachine) Encode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CT%v|p%t|e%s|t%d|r%d|rp%t|sc%t|d%t:%s|%s",
+		m.self, m.proposed, m.est, m.ts, m.round, m.replied, m.sentC,
+		m.decided, m.decidedVal, m.susp.Encode())
+	b.WriteString("|E")
+	encodeRoundEsts(&b, m.ests)
+	b.WriteString("|A")
+	encodeRoundSets(&b, m.acks)
+	b.WriteString("|N")
+	encodeRoundSets(&b, m.nacks)
+	b.WriteString("|C")
+	encodeRoundStrs(&b, m.gotC)
+	return b.String()
+}
+
+func pruneEst(m map[int]map[ioa.Loc]estTS, min int) {
+	for r := range m {
+		if r < min {
+			delete(m, r)
+		}
+	}
+}
+
+func pruneSet(m map[int]map[ioa.Loc]bool, min int) {
+	for r := range m {
+		if r < min {
+			delete(m, r)
+		}
+	}
+}
+
+func pruneStr(m map[int]string, min int) {
+	for r := range m {
+		if r < min {
+			delete(m, r)
+		}
+	}
+}
+
+func cloneLocSet(m map[ioa.Loc]bool) map[ioa.Loc]bool {
+	c := make(map[ioa.Loc]bool, len(m))
+	for l, v := range m {
+		c[l] = v
+	}
+	return c
+}
+
+func sortedRounds[T any](m map[int]T) []int {
+	rs := make([]int, 0, len(m))
+	for r := range m {
+		rs = append(rs, r)
+	}
+	sort.Ints(rs)
+	return rs
+}
+
+func encodeRoundEsts(b *strings.Builder, m map[int]map[ioa.Loc]estTS) {
+	for _, r := range sortedRounds(m) {
+		fmt.Fprintf(b, "[%d:", r)
+		inner := m[r]
+		locs := make([]int, 0, len(inner))
+		for l := range inner {
+			locs = append(locs, int(l))
+		}
+		sort.Ints(locs)
+		for _, l := range locs {
+			et := inner[ioa.Loc(l)]
+			fmt.Fprintf(b, "%d=%s/%d;", l, et.est, et.ts)
+		}
+		b.WriteByte(']')
+	}
+}
+
+func encodeRoundSets(b *strings.Builder, m map[int]map[ioa.Loc]bool) {
+	for _, r := range sortedRounds(m) {
+		fmt.Fprintf(b, "[%d:%s]", r, ioa.EncodeLocSet(m[r]))
+	}
+}
+
+func encodeRoundStrs(b *strings.Builder, m map[int]string) {
+	for _, r := range sortedRounds(m) {
+		fmt.Fprintf(b, "[%d:%s]", r, m[r])
+	}
+}

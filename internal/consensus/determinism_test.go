@@ -1,0 +1,41 @@
+package consensus
+
+import (
+	"testing"
+
+	"repro/internal/afd"
+	"repro/internal/ioa"
+)
+
+// TestComposedSystemDeterminism validates the Section-2.5 task-determinism
+// and Clone/Encode contracts of every automaton in the full composed system
+// (processes, channels, environments, detector, crash automaton) by
+// replaying fair schedules — the property the execution-tree machinery of
+// Section 8 depends on.
+func TestComposedSystemDeterminism(t *testing.T) {
+	for _, algo := range []string{"ct", "s"} {
+		family := afd.FamilyOmega
+		if algo == "s" {
+			family = afd.FamilyP
+		}
+		d, err := afd.Lookup(family, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := Build(BuildSpec{
+			N:      3,
+			Family: family,
+			Algo:   algo,
+			Det:    d.Automaton(3),
+			Crash:  []ioa.Loc{2},
+			Values: []int{0, 1, 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := ioa.RoundRobinSchedule(sys, 25)
+		if err := ioa.CheckDeterminism(sys, sched); err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package consensus_test
+
+import (
+	"fmt"
+
+	"repro/internal/afd"
+	"repro/internal/consensus"
+	"repro/internal/ioa"
+)
+
+// Solving 1-crash-tolerant binary consensus with Ω: the round-1 coordinator
+// crashes mid-protocol and the leader moves.
+func ExampleRun() {
+	omega, _ := afd.Lookup(afd.FamilyOmega, 3)
+	res, err := consensus.Run(consensus.RunSpec{
+		Build: consensus.BuildSpec{
+			N:      3,
+			Family: afd.FamilyOmega,
+			Det:    omega.Automaton(3),
+			Crash:  []ioa.Loc{0},
+			Values: []int{0, 1, 1},
+		},
+		Steps:     50_000,
+		Seed:      -1,
+		CrashGate: 30,
+	})
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	spec := consensus.Spec{N: 3, F: 1}
+	err = spec.Check(consensus.ProjectIO(res.Trace), res.AllDecided)
+	fmt.Println("decisions:", res.Decisions, "value:", res.Value, "spec:", err == nil)
+	// Output:
+	// decisions: 2 value: 0 spec: true
+}

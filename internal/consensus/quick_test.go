@@ -1,0 +1,114 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/afd"
+	"repro/internal/ioa"
+)
+
+// TestQuickCTConsensus (testing/quick): the rotating-coordinator algorithm
+// satisfies the §9.1 specification for random detector choices, minority
+// crash subsets, crash timings, proposal vectors, and schedule seeds.
+func TestQuickCTConsensus(t *testing.T) {
+	fams := []string{afd.FamilyP, afd.FamilyEvP, afd.FamilyEvS, afd.FamilyOmega}
+	prop := func(famIdx, crashPick, gatePick uint8, valBits uint8, seed int64) bool {
+		const n = 3
+		fam := fams[int(famIdx)%len(fams)]
+		d, err := afd.Lookup(fam, n)
+		if err != nil {
+			return false
+		}
+		// At most one crash (f = 1 for n = 3); crashPick may select none.
+		var crash []ioa.Loc
+		if crashPick%4 < 3 {
+			crash = []ioa.Loc{ioa.Loc(crashPick % 3)}
+		}
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = int(valBits>>i) & 1
+		}
+		if seed < 0 {
+			seed = -seed
+		}
+		res, err := Run(RunSpec{
+			Build:     BuildSpec{N: n, Family: fam, Det: d.Automaton(n), Crash: crash, Values: vals},
+			Steps:     200_000,
+			Seed:      seed % 1000,
+			CrashGate: 5 + int(gatePick)%60,
+		})
+		if err != nil {
+			return false
+		}
+		spec := Spec{N: n, F: 1}
+		io := ProjectIO(res.Trace)
+		if err := spec.CheckAssumptions(io); err != nil {
+			t.Logf("assumptions: %v", err)
+			return false
+		}
+		if err := spec.CheckGuarantees(io, res.AllDecided); err != nil {
+			t.Logf("fd=%s crash=%v vals=%v seed=%d gate=%d: %v",
+				fam, crash, vals, seed%1000, 5+int(gatePick)%60, err)
+			return false
+		}
+		return res.AllDecided
+	}
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(21))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSConsensus (testing/quick): the S-based flooding algorithm
+// satisfies the specification up to f = n−1 crashes under random
+// configurations.
+func TestQuickSConsensus(t *testing.T) {
+	prop := func(crashBits, gatePick, valBits uint8, seed int64) bool {
+		const n = 4
+		d, err := afd.Lookup(afd.FamilyP, n)
+		if err != nil {
+			return false
+		}
+		var crash []ioa.Loc
+		for i := 0; i < n-1; i++ { // keep location n−1 live
+			if crashBits&(1<<i) != 0 {
+				crash = append(crash, ioa.Loc(i))
+			}
+		}
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = int(valBits>>i) & 1
+		}
+		if seed < 0 {
+			seed = -seed
+		}
+		res, err := Run(RunSpec{
+			Build: BuildSpec{
+				N: n, Family: afd.FamilyP, Algo: "s",
+				Det: d.Automaton(n), Crash: crash, Values: vals,
+			},
+			Steps:     200_000,
+			Seed:      seed % 1000,
+			CrashGate: 5 + int(gatePick)%50,
+		})
+		if err != nil {
+			return false
+		}
+		spec := Spec{N: n, F: n - 1}
+		io := ProjectIO(res.Trace)
+		if err := spec.CheckAssumptions(io); err != nil {
+			return false
+		}
+		if err := spec.CheckGuarantees(io, res.AllDecided); err != nil {
+			t.Logf("crash=%v vals=%v seed=%d: %v", crash, vals, seed%1000, err)
+			return false
+		}
+		return res.AllDecided
+	}
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(22))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,345 @@
+package consensus
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ioa"
+	"repro/internal/system"
+)
+
+// SMachine is the Chandra-Toueg algorithm that solves consensus using any
+// detector with perpetual weak accuracy and strong completeness (the class
+// S; P ⊆ S), tolerating f ≤ n−1 crashes — the second consensus algorithm of
+// [5], recast as a reactive process automaton:
+//
+//	Phase 1: asynchronous rounds r = 1..n−1; in round r broadcast the
+//	         current value set and wait, for every other location q, for
+//	         q's round-r message or q ∈ suspected;
+//	Phase 2: broadcast the final value set; wait for each q's phase-2 set
+//	         or suspicion; replace the value set by the intersection of
+//	         all phase-2 sets received (including one's own);
+//	Phase 3: decide min of the remaining values.
+//
+// Unlike the rotating-coordinator CTMachine it has no round churn: every
+// location performs exactly n broadcasts, which keeps the reachable state
+// space finite under a fixed failure-detector sequence — the property the
+// Section-8 execution-tree experiments need.
+//
+// Correctness requires perpetual weak accuracy: a ◇-class suspector may
+// suspect a live location whose messages are still needed.  Use it with P
+// or S only.
+type SMachine struct {
+	system.NopMachine
+	n    int
+	self ioa.Loc
+	susp Suspector
+
+	proposed bool
+	vals     map[string]bool // V_p
+	round    int             // current phase-1 round; n..: phase 2; 0: idle
+	phase2   bool
+
+	gotRound map[int]map[ioa.Loc]bool   // round → senders heard
+	pending  map[int]map[ioa.Loc]string // early round messages (value sets)
+	gotP2    map[ioa.Loc]string         // phase-2 sets received
+	p2Sent   bool
+
+	decided    bool
+	decidedVal string
+}
+
+var _ system.Machine = (*SMachine)(nil)
+
+// NewSMachine returns the S-based consensus machine for location self of n.
+func NewSMachine(n int, self ioa.Loc, susp Suspector) *SMachine {
+	return &SMachine{
+		n: n, self: self, susp: susp,
+		vals:     make(map[string]bool),
+		gotRound: make(map[int]map[ioa.Loc]bool),
+		pending:  make(map[int]map[ioa.Loc]string),
+		gotP2:    make(map[ioa.Loc]string),
+	}
+}
+
+// Decided reports the decision, if any.
+func (m *SMachine) Decided() (string, bool) { return m.decidedVal, m.decided }
+
+// Round returns the current phase-1 round (n−1+1 once in phase 2).
+func (m *SMachine) Round() int { return m.round }
+
+// OnEnvInput implements system.Machine.
+func (m *SMachine) OnEnvInput(name, payload string, e *system.Effects) {
+	if name != system.ActNamePropose || m.proposed || m.decided {
+		return
+	}
+	m.proposed = true
+	m.vals[payload] = true
+	m.round = 1
+	if m.n == 1 {
+		m.enterPhase2(e)
+		return
+	}
+	e.Broadcast(m.n, m.roundMsg(1))
+	m.advance(e)
+}
+
+// OnFD implements system.Machine.
+func (m *SMachine) OnFD(a ioa.Action, e *system.Effects) {
+	m.susp.Update(a)
+	if m.proposed && !m.decided {
+		m.advance(e)
+	}
+}
+
+// OnReceive implements system.Machine.
+func (m *SMachine) OnReceive(from ioa.Loc, msg string, e *system.Effects) {
+	if m.decided {
+		return
+	}
+	parts := strings.SplitN(msg, "|", 3)
+	switch parts[0] {
+	case "R":
+		if len(parts) != 3 {
+			return
+		}
+		r, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return
+		}
+		if m.pending[r] == nil {
+			m.pending[r] = make(map[ioa.Loc]string)
+		}
+		m.pending[r][from] = parts[2]
+	case "S2":
+		if len(parts) != 2 {
+			return
+		}
+		m.gotP2[from] = parts[1]
+	default:
+		return
+	}
+	if m.proposed {
+		m.advance(e)
+	}
+}
+
+// advance absorbs pending messages for the current round and moves through
+// the phases as far as the wait conditions allow.
+func (m *SMachine) advance(e *system.Effects) {
+	for !m.decided {
+		if m.phase2 {
+			if !m.phase2Satisfied() {
+				return
+			}
+			m.finish(e)
+			return
+		}
+		// Phase 1, round m.round: absorb that round's messages.
+		r := m.round
+		if m.gotRound[r] == nil {
+			m.gotRound[r] = make(map[ioa.Loc]bool)
+		}
+		for from, set := range m.pending[r] {
+			m.mergeVals(set)
+			m.gotRound[r][from] = true
+		}
+		delete(m.pending, r)
+		if !m.roundSatisfied(r) {
+			return
+		}
+		if r < m.n-1 {
+			m.round = r + 1
+			e.Broadcast(m.n, m.roundMsg(m.round))
+			continue
+		}
+		m.enterPhase2(e)
+	}
+}
+
+func (m *SMachine) roundSatisfied(r int) bool {
+	for q := 0; q < m.n; q++ {
+		l := ioa.Loc(q)
+		if l == m.self {
+			continue
+		}
+		if !m.gotRound[r][l] && !m.susp.Suspects(l) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *SMachine) phase2Satisfied() bool {
+	for q := 0; q < m.n; q++ {
+		l := ioa.Loc(q)
+		if l == m.self {
+			continue
+		}
+		if _, ok := m.gotP2[l]; !ok && !m.susp.Suspects(l) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *SMachine) enterPhase2(e *system.Effects) {
+	m.phase2 = true
+	m.round = m.n
+	m.p2Sent = true
+	if m.n > 1 {
+		e.Broadcast(m.n, "S2|"+m.encodeVals())
+	}
+	if m.phase2Satisfied() {
+		m.finish(e)
+	}
+}
+
+// finish intersects the phase-2 sets and decides the minimum value.
+func (m *SMachine) finish(e *system.Effects) {
+	inter := m.vals
+	for _, enc := range m.gotP2 {
+		set := decodeVals(enc)
+		next := make(map[string]bool)
+		for v := range inter {
+			if set[v] {
+				next[v] = true
+			}
+		}
+		inter = next
+	}
+	// The intersection always contains the never-suspected location's
+	// values (weak accuracy), hence is non-empty; guard anyway so a spec
+	// violation surfaces as a missing decision, not a panic.
+	if len(inter) == 0 {
+		return
+	}
+	min := ""
+	for v := range inter {
+		if min == "" || v < min {
+			min = v
+		}
+	}
+	m.decided = true
+	m.decidedVal = min
+	e.Output(system.ActNameDecide, min)
+}
+
+func (m *SMachine) mergeVals(enc string) {
+	for v := range decodeVals(enc) {
+		m.vals[v] = true
+	}
+}
+
+func (m *SMachine) roundMsg(r int) string {
+	return fmt.Sprintf("R|%d|%s", r, m.encodeVals())
+}
+
+func (m *SMachine) encodeVals() string {
+	vs := make([]string, 0, len(m.vals))
+	for v := range m.vals {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return strings.Join(vs, ",")
+}
+
+func decodeVals(enc string) map[string]bool {
+	out := make(map[string]bool)
+	if enc == "" {
+		return out
+	}
+	for _, v := range strings.Split(enc, ",") {
+		out[v] = true
+	}
+	return out
+}
+
+// Clone implements system.Machine.
+func (m *SMachine) Clone() system.Machine {
+	c := &SMachine{
+		n: m.n, self: m.self, susp: m.susp.Clone(),
+		proposed: m.proposed, round: m.round, phase2: m.phase2,
+		p2Sent: m.p2Sent, decided: m.decided, decidedVal: m.decidedVal,
+		vals:     make(map[string]bool, len(m.vals)),
+		gotRound: make(map[int]map[ioa.Loc]bool, len(m.gotRound)),
+		pending:  make(map[int]map[ioa.Loc]string, len(m.pending)),
+		gotP2:    make(map[ioa.Loc]string, len(m.gotP2)),
+	}
+	for v := range m.vals {
+		c.vals[v] = true
+	}
+	for r, mm := range m.gotRound {
+		inner := make(map[ioa.Loc]bool, len(mm))
+		for l, b := range mm {
+			inner[l] = b
+		}
+		c.gotRound[r] = inner
+	}
+	for r, mm := range m.pending {
+		inner := make(map[ioa.Loc]string, len(mm))
+		for l, s := range mm {
+			inner[l] = s
+		}
+		c.pending[r] = inner
+	}
+	for l, s := range m.gotP2 {
+		c.gotP2[l] = s
+	}
+	return c
+}
+
+// Encode implements system.Machine.
+func (m *SMachine) Encode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SM%v|p%t|r%d|p2%t:%t|d%t:%s|V%s|%s",
+		m.self, m.proposed, m.round, m.phase2, m.p2Sent,
+		m.decided, m.decidedVal, m.encodeVals(), m.susp.Encode())
+	b.WriteString("|G")
+	for _, r := range sortedRounds(m.gotRound) {
+		fmt.Fprintf(&b, "[%d:%s]", r, ioa.EncodeLocSet(m.gotRound[r]))
+	}
+	b.WriteString("|P")
+	for _, r := range sortedRounds(m.pending) {
+		fmt.Fprintf(&b, "[%d:", r)
+		locs := make([]int, 0, len(m.pending[r]))
+		for l := range m.pending[r] {
+			locs = append(locs, int(l))
+		}
+		sort.Ints(locs)
+		for _, l := range locs {
+			fmt.Fprintf(&b, "%d=%s;", l, m.pending[r][ioa.Loc(l)])
+		}
+		b.WriteByte(']')
+	}
+	b.WriteString("|2")
+	locs := make([]int, 0, len(m.gotP2))
+	for l := range m.gotP2 {
+		locs = append(locs, int(l))
+	}
+	sort.Ints(locs)
+	for _, l := range locs {
+		fmt.Fprintf(&b, "[%d=%s]", l, m.gotP2[ioa.Loc(l)])
+	}
+	return b.String()
+}
+
+// SProcs returns the S-algorithm distributed consensus: one process per
+// location, subscribed to the given suspicion-set detector family (P or S).
+func SProcs(n int, family string) ([]ioa.Automaton, error) {
+	out := make([]ioa.Automaton, n)
+	for i := 0; i < n; i++ {
+		susp, err := SuspectorFor(family)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := susp.(*SetSuspector); !ok {
+			return nil, fmt.Errorf("consensus: S algorithm needs a suspicion-set detector, got %q", family)
+		}
+		m := NewSMachine(n, ioa.Loc(i), susp)
+		out[i] = system.NewProc("sct", ioa.Loc(i), n, m, []string{family}, []string{system.ActNamePropose})
+	}
+	return out, nil
+}

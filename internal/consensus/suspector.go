@@ -1,0 +1,128 @@
+package consensus
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// Suspector adapts a failure detector's output stream into the suspicion
+// queries the rotating-coordinator algorithm asks: "should I stop waiting
+// for location c?".  Adapters exist for the suspicion-set detectors (P, ◇P,
+// S, ◇S: suspect exactly the payload set) and for Ω (suspect everyone except
+// the current leader).  A process trusts everyone until the first detector
+// output arrives.
+type Suspector interface {
+	// Update consumes a failure-detector output event at this location.
+	Update(a ioa.Action)
+	// Suspects reports whether c is currently suspected.
+	Suspects(c ioa.Loc) bool
+	// Clone returns an independent deep copy.
+	Clone() Suspector
+	// Encode returns a canonical encoding of the suspector state.
+	Encode() string
+}
+
+// SetSuspector suspects exactly the locations in the last suspicion-set
+// payload received.
+type SetSuspector struct {
+	set map[ioa.Loc]bool
+}
+
+var _ Suspector = (*SetSuspector)(nil)
+
+// NewSetSuspector returns a suspector for suspicion-set detectors.
+func NewSetSuspector() *SetSuspector { return &SetSuspector{} }
+
+// Update implements Suspector.
+func (s *SetSuspector) Update(a ioa.Action) {
+	set, err := ioa.DecodeLocSet(a.Payload)
+	if err != nil {
+		return // malformed payloads leave the suspicion state unchanged
+	}
+	s.set = set
+}
+
+// Suspects implements Suspector.
+func (s *SetSuspector) Suspects(c ioa.Loc) bool { return s.set[c] }
+
+// Clone implements Suspector.
+func (s *SetSuspector) Clone() Suspector {
+	c := &SetSuspector{}
+	if s.set != nil {
+		c.set = make(map[ioa.Loc]bool, len(s.set))
+		for l, v := range s.set {
+			c.set[l] = v
+		}
+	}
+	return c
+}
+
+// Encode implements Suspector.
+func (s *SetSuspector) Encode() string {
+	if s.set == nil {
+		return "S:-"
+	}
+	return "S:" + ioa.EncodeLocSet(s.set)
+}
+
+// LeaderSuspector suspects every location other than the last Ω output.
+// Before the first output it suspects no one.
+type LeaderSuspector struct {
+	leader ioa.Loc
+	seen   bool
+}
+
+var _ Suspector = (*LeaderSuspector)(nil)
+
+// NewLeaderSuspector returns a suspector for leader-election detectors.
+func NewLeaderSuspector() *LeaderSuspector { return &LeaderSuspector{leader: ioa.NoLoc} }
+
+// Update implements Suspector.
+func (s *LeaderSuspector) Update(a ioa.Action) {
+	l, err := ioa.DecodeLoc(a.Payload)
+	if err != nil {
+		return
+	}
+	s.leader = l
+	s.seen = true
+}
+
+// Suspects implements Suspector.
+func (s *LeaderSuspector) Suspects(c ioa.Loc) bool { return s.seen && c != s.leader }
+
+// Leader returns the current leader view (NoLoc before the first output).
+func (s *LeaderSuspector) Leader() ioa.Loc {
+	if !s.seen {
+		return ioa.NoLoc
+	}
+	return s.leader
+}
+
+// Clone implements Suspector.
+func (s *LeaderSuspector) Clone() Suspector {
+	c := *s
+	return &c
+}
+
+// Encode implements Suspector.
+func (s *LeaderSuspector) Encode() string { return fmt.Sprintf("L:%v:%t", s.leader, s.seen) }
+
+// NeverSuspector never suspects anyone — the "no failure detector"
+// degenerate adapter used by the FLP demonstrations: with it, the algorithm
+// blocks forever on a crashed coordinator.
+type NeverSuspector struct{}
+
+var _ Suspector = NeverSuspector{}
+
+// Update implements Suspector.
+func (NeverSuspector) Update(ioa.Action) {}
+
+// Suspects implements Suspector.
+func (NeverSuspector) Suspects(ioa.Loc) bool { return false }
+
+// Clone implements Suspector.
+func (NeverSuspector) Clone() Suspector { return NeverSuspector{} }
+
+// Encode implements Suspector.
+func (NeverSuspector) Encode() string { return "N" }

@@ -1,0 +1,176 @@
+package ioa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocString(t *testing.T) {
+	if got := NoLoc.String(); got != "⊥" {
+		t.Errorf("NoLoc.String() = %q, want ⊥", got)
+	}
+	if got := Loc(3).String(); got != "3" {
+		t.Errorf("Loc(3).String() = %q, want 3", got)
+	}
+}
+
+func TestActionZero(t *testing.T) {
+	var a Action
+	if !a.IsZero() {
+		t.Error("zero Action should be ⊥")
+	}
+	if a.String() != "⊥" {
+		t.Errorf("zero Action renders %q, want ⊥", a.String())
+	}
+	if Crash(0).IsZero() {
+		t.Error("crash action must not be ⊥")
+	}
+}
+
+func TestActionConstructors(t *testing.T) {
+	tests := []struct {
+		a    Action
+		kind Kind
+		loc  Loc
+		str  string
+	}{
+		{Crash(1), KindCrash, 1, "crash_1"},
+		{Send(0, 2, "m"), KindSend, 0, "send(m,2)_0"},
+		{Receive(2, 0, "m"), KindReceive, 2, "receive(m,0)_2"},
+		{FDOutput("FD-Ω", 1, "0"), KindFD, 1, "FD-Ω(0)_1"},
+		{EnvInput("propose", 0, "1"), KindEnvIn, 0, "propose(1)_0"},
+		{EnvOutput("decide", 2, "0"), KindEnvOut, 2, "decide(0)_2"},
+		{Internal("tick", 1, ""), KindInternal, 1, "tick_1"},
+	}
+	for _, tc := range tests {
+		if tc.a.Kind != tc.kind {
+			t.Errorf("%v: kind = %v, want %v", tc.a, tc.a.Kind, tc.kind)
+		}
+		if tc.a.Loc != tc.loc {
+			t.Errorf("%v: loc = %v, want %v", tc.a, tc.a.Loc, tc.loc)
+		}
+		if tc.a.String() != tc.str {
+			t.Errorf("String() = %q, want %q", tc.a.String(), tc.str)
+		}
+	}
+}
+
+func TestActionComparable(t *testing.T) {
+	a := Send(0, 1, "x")
+	b := Send(0, 1, "x")
+	if a != b {
+		t.Error("identical sends must compare equal")
+	}
+	m := map[Action]int{a: 1}
+	if m[b] != 1 {
+		t.Error("actions must be usable as map keys")
+	}
+	if Send(0, 1, "x") == Send(0, 1, "y") {
+		t.Error("different payloads must differ")
+	}
+	if Send(0, 1, "x") == Receive(0, 1, "x") {
+		t.Error("different kinds must differ")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		KindCrash: "crash", KindSend: "send", KindReceive: "receive",
+		KindFD: "fd", KindEnvIn: "envin", KindEnvOut: "envout",
+		KindInternal: "internal", Kind(0): "invalid",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestLocSetRoundTrip(t *testing.T) {
+	tests := []map[Loc]bool{
+		nil,
+		{},
+		{0: true},
+		{2: true, 0: true, 5: true},
+		{1: true, 3: false}, // false entries are excluded
+	}
+	for _, set := range tests {
+		enc := EncodeLocSet(set)
+		dec, err := DecodeLocSet(enc)
+		if err != nil {
+			t.Fatalf("DecodeLocSet(%q): %v", enc, err)
+		}
+		for l, in := range set {
+			if in != dec[l] {
+				t.Errorf("round-trip of %v via %q lost %v", set, enc, l)
+			}
+		}
+		for l := range dec {
+			if !set[l] {
+				t.Errorf("round-trip of %v via %q invented %v", set, enc, l)
+			}
+		}
+	}
+}
+
+func TestEncodeLocSetCanonical(t *testing.T) {
+	a := EncodeLocSet(map[Loc]bool{3: true, 1: true, 2: true})
+	b := EncodeLocSet(map[Loc]bool{2: true, 3: true, 1: true})
+	if a != b {
+		t.Errorf("set encoding not canonical: %q vs %q", a, b)
+	}
+	if a != "{1,2,3}" {
+		t.Errorf("encoding = %q, want {1,2,3}", a)
+	}
+}
+
+func TestDecodeLocSetErrors(t *testing.T) {
+	for _, bad := range []string{"", "{", "1,2", "{a}", "{1,}"} {
+		if _, err := DecodeLocSet(bad); err == nil {
+			t.Errorf("DecodeLocSet(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestLocRoundTrip(t *testing.T) {
+	for _, l := range []Loc{0, 1, 7, NoLoc} {
+		got, err := DecodeLoc(EncodeLoc(l))
+		if err != nil {
+			t.Fatalf("DecodeLoc: %v", err)
+		}
+		if got != l {
+			t.Errorf("round trip %v -> %v", l, got)
+		}
+	}
+	if _, err := DecodeLoc("zz"); err == nil {
+		t.Error("DecodeLoc(zz) succeeded, want error")
+	}
+}
+
+// Property: EncodeLocSet/DecodeLocSet is a bijection on random sets.
+func TestQuickLocSetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(raw []uint8) bool {
+		set := make(map[Loc]bool)
+		for _, v := range raw {
+			set[Loc(v%64)] = true
+		}
+		dec, err := DecodeLocSet(EncodeLocSet(set))
+		if err != nil {
+			return false
+		}
+		if len(dec) != len(set) {
+			return false
+		}
+		for l := range set {
+			if !dec[l] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

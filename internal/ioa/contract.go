@@ -1,0 +1,46 @@
+package ioa
+
+import "fmt"
+
+// CheckAutomatonContract exercises the structural obligations every
+// Automaton implementation carries, independent of its behavior:
+//
+//	– Name is non-empty;
+//	– every task has a non-empty label;
+//	– Enabled is within task range and stable across repeated queries;
+//	– Clone returns a distinct value in an Encode-equal state;
+//	– Encode is stable across calls.
+//
+// It is a test helper shared by every package that defines automata.
+func CheckAutomatonContract(a Automaton) error {
+	if a.Name() == "" {
+		return fmt.Errorf("ioa: automaton has empty name")
+	}
+	for t := 0; t < a.NumTasks(); t++ {
+		if a.TaskLabel(t) == "" {
+			return fmt.Errorf("ioa: %s task %d has empty label", a.Name(), t)
+		}
+		a1, ok1 := a.Enabled(t)
+		a2, ok2 := a.Enabled(t)
+		if ok1 != ok2 || a1 != a2 {
+			return fmt.Errorf("ioa: %s task %d Enabled unstable", a.Name(), t)
+		}
+	}
+	if a.Encode() != a.Encode() {
+		return fmt.Errorf("ioa: %s Encode unstable", a.Name())
+	}
+	c := a.Clone()
+	if c == nil {
+		return fmt.Errorf("ioa: %s Clone returned nil", a.Name())
+	}
+	if fmt.Sprintf("%p", c) == fmt.Sprintf("%p", a) {
+		return fmt.Errorf("ioa: %s Clone returned the receiver", a.Name())
+	}
+	if c.Encode() != a.Encode() {
+		return fmt.Errorf("ioa: %s clone encodes differently:\n %q\n %q", a.Name(), c.Encode(), a.Encode())
+	}
+	if c.Name() != a.Name() {
+		return fmt.Errorf("ioa: %s clone renamed itself to %s", a.Name(), c.Name())
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package ioa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// System is a composition of I/O automata (paper Section 2.3).  When a
+// locally controlled action of one automaton fires, every other automaton
+// that accepts the same Action value receives it as an input in the same
+// step, exactly as same-named actions are performed together under
+// composition.
+//
+// The System records the trace of external events as they occur.  Internal
+// actions (KindInternal) are performed but not traced, which implements the
+// paper's hiding operator for actions the owner declares internal.
+type System struct {
+	autos  []Automaton
+	tasks  []TaskRef         // flattened task list, fixed at construction
+	trace  []Action          // external events in order of occurrence
+	steps  int               // total events fired (including internal)
+	hidden func(Action) bool // reclassified-as-internal predicate, may be nil
+}
+
+// NewSystem composes the given automata.  It returns an error if two automata
+// share a name (composition requires uniquely named components).
+func NewSystem(autos ...Automaton) (*System, error) {
+	seen := make(map[string]bool, len(autos))
+	for _, a := range autos {
+		if seen[a.Name()] {
+			return nil, fmt.Errorf("ioa: duplicate automaton name %q in composition", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+	s := &System{autos: autos}
+	for ai, a := range autos {
+		for t := 0; t < a.NumTasks(); t++ {
+			s.tasks = append(s.tasks, TaskRef{Auto: ai, Task: t})
+		}
+	}
+	return s, nil
+}
+
+// MustNewSystem is NewSystem for statically correct compositions; it panics
+// on the construction errors NewSystem reports (programmer error).
+func MustNewSystem(autos ...Automaton) *System {
+	s, err := NewSystem(autos...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Automata returns the composed automata in order.
+func (s *System) Automata() []Automaton { return s.autos }
+
+// Automaton returns the component with the given name, or nil.
+func (s *System) Automaton(name string) Automaton {
+	for _, a := range s.autos {
+		if a.Name() == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Tasks returns the flattened task list of the composition.  The returned
+// slice is owned by the System and must not be modified.
+func (s *System) Tasks() []TaskRef { return s.tasks }
+
+// TaskLabel renders tr as "automaton/task-label".
+func (s *System) TaskLabel(tr TaskRef) string {
+	a := s.autos[tr.Auto]
+	return a.Name() + "/" + a.TaskLabel(tr.Task)
+}
+
+// Enabled returns the action enabled in task tr, if any.
+func (s *System) Enabled(tr TaskRef) (Action, bool) {
+	return s.autos[tr.Auto].Enabled(tr.Task)
+}
+
+// Step fires the action enabled in task tr, if any, delivering it to every
+// accepting automaton.  It returns the fired action and whether the task was
+// enabled.  The action is appended to the trace unless it is internal.
+func (s *System) Step(tr TaskRef) (Action, bool) {
+	owner := s.autos[tr.Auto]
+	act, ok := owner.Enabled(tr.Task)
+	if !ok {
+		return Action{}, false
+	}
+	s.Apply(tr.Auto, act)
+	return act, true
+}
+
+// Apply performs action act owned by automaton index owner: the owner's Fire
+// effect, then delivery to every other accepting automaton, then trace
+// recording.  It is exposed for drivers (such as the execution tree of
+// Section 8) that feed externally sourced events — e.g. failure-detector
+// outputs taken from a fixed trace tD — by passing owner = -1, in which case
+// no Fire is applied and the action is delivered to acceptors only.
+func (s *System) Apply(owner int, act Action) {
+	if owner >= 0 {
+		s.autos[owner].Fire(act)
+	}
+	for i, a := range s.autos {
+		if i == owner {
+			continue
+		}
+		if a.Accepts(act) {
+			a.Input(act)
+		}
+	}
+	s.steps++
+	if act.Kind != KindInternal && (s.hidden == nil || !s.hidden(act)) {
+		s.trace = append(s.trace, act)
+	}
+}
+
+// Hide reclassifies matching actions as internal to the composition (the
+// hiding operator of Section 2.3): they still synchronize all component
+// automata but no longer appear in the trace.  Hiding composes: multiple
+// calls hide the union.
+func (s *System) Hide(pred func(Action) bool) {
+	prev := s.hidden
+	if prev == nil {
+		s.hidden = pred
+		return
+	}
+	s.hidden = func(a Action) bool { return prev(a) || pred(a) }
+}
+
+// Trace returns the external events recorded so far.  The returned slice is
+// owned by the System; callers must copy before mutating.
+func (s *System) Trace() []Action { return s.trace }
+
+// Steps returns the total number of events performed, including internal.
+func (s *System) Steps() int { return s.steps }
+
+// Quiescent reports whether no task of the composition is enabled.
+func (s *System) Quiescent() bool {
+	for _, tr := range s.tasks {
+		if _, ok := s.Enabled(tr); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the system, including its automata and trace.
+func (s *System) Clone() *System {
+	autos := make([]Automaton, len(s.autos))
+	for i, a := range s.autos {
+		autos[i] = a.Clone()
+	}
+	c := &System{
+		autos:  autos,
+		tasks:  s.tasks, // immutable after construction
+		steps:  s.steps,
+		hidden: s.hidden,
+	}
+	c.trace = append([]Action(nil), s.trace...)
+	return c
+}
+
+// CloneBare returns a deep copy of the system with an empty trace.  Drivers
+// that maintain their own event bookkeeping (the execution tree) use this to
+// avoid O(trace) copies per node.
+func (s *System) CloneBare() *System {
+	autos := make([]Automaton, len(s.autos))
+	for i, a := range s.autos {
+		autos[i] = a.Clone()
+	}
+	return &System{autos: autos, tasks: s.tasks, steps: s.steps, hidden: s.hidden}
+}
+
+// Encode returns a canonical encoding of the composed state: the automaton
+// encodings joined in composition order.  Two systems with equal Encode are
+// in identical states (the paper's config tags, Section 8.2).
+func (s *System) Encode() string {
+	var b strings.Builder
+	for i, a := range s.autos {
+		if i > 0 {
+			b.WriteByte('\x1e')
+		}
+		b.WriteString(a.Encode())
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package problems
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/trace"
+)
+
+// This file makes the Section-7.3 bounded-problem formalism executable.  A
+// crash problem P is bounded iff some automaton U solving it is (a) crash
+// independent — deleting the crash events from any finite trace of U leaves
+// a trace of U — and (b) of bounded length — at most b output events occur
+// in any trace.  Theorem 21 shows bounded problems that are unsolvable
+// asynchronously have no representative AFD.
+//
+// Witness carries a trace sample of a solving automaton; the classifiers
+// test the two defining properties on the sample.  They are necessarily
+// one-sided: a classifier can *refute* boundedness/crash-independence on
+// evidence, and can confirm it up to the sample, which is what an
+// executable rendition of a ∀-property over infinite trace sets can do.
+
+// Witness is a finite set of finite traces of a candidate solving
+// automaton, together with a membership oracle for the automaton's trace
+// set (typically a problem checker in prefix mode).
+type Witness struct {
+	// Traces are sample traces of the automaton.
+	Traces []trace.T
+	// IsTrace decides whether a sequence is a trace of the automaton.
+	IsTrace func(trace.T) error
+	// IsOutput classifies the problem's output events.
+	IsOutput func(ioa.Action) bool
+}
+
+// CheckCrashIndependence verifies, for every sample trace, that deleting
+// exactly the crash events yields a trace the oracle accepts (the Section
+// 7.3 definition of crash independence, on the sample).
+func (w Witness) CheckCrashIndependence() error {
+	for i, t := range w.Traces {
+		stripped := trace.Project(t, func(a ioa.Action) bool { return a.Kind != ioa.KindCrash })
+		if err := w.IsTrace(stripped); err != nil {
+			return fmt.Errorf("problems: trace %d not crash independent: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CheckBoundedLength verifies every sample trace has at most bound output
+// events and returns the maximum observed (the maxlen of Proposition 22).
+func (w Witness) CheckBoundedLength(bound int) (int, error) {
+	maxSeen := 0
+	for i, t := range w.Traces {
+		n := trace.Count(t, w.IsOutput)
+		if n > maxSeen {
+			maxSeen = n
+		}
+		if n > bound {
+			return maxSeen, fmt.Errorf("problems: trace %d has %d outputs > bound %d", i, n, bound)
+		}
+	}
+	return maxSeen, nil
+}
+
+// QuiescentCut implements the αq extraction of Lemma 23 on a finite trace
+// with explicit channel bookkeeping: given the trace and the set of send
+// events not yet matched by receives, it returns the trace extended by the
+// pending deliveries in lexicographic (from, to) channel order, exactly as
+// the proof constructs the quiescent execution.  pending maps (from,to) to
+// the FIFO backlog of message payloads.
+func QuiescentCut(t trace.T, pending map[[2]ioa.Loc][]string) trace.T {
+	out := append(trace.T(nil), t...)
+	// Lexicographic order over location pairs.
+	var pairs [][2]ioa.Loc
+	for p := range pending {
+		pairs = append(pairs, p)
+	}
+	for i := 0; i < len(pairs); i++ {
+		for j := i + 1; j < len(pairs); j++ {
+			if pairs[j][0] < pairs[i][0] || (pairs[j][0] == pairs[i][0] && pairs[j][1] < pairs[i][1]) {
+				pairs[i], pairs[j] = pairs[j], pairs[i]
+			}
+		}
+	}
+	for _, p := range pairs {
+		for _, m := range pending[p] {
+			out = append(out, ioa.Receive(p[1], p[0], m))
+		}
+	}
+	return out
+}
+
+// PendingMessages reconstructs the channel backlog of a trace: sends not yet
+// matched by receives, per ordered channel, in FIFO order.
+func PendingMessages(t trace.T) map[[2]ioa.Loc][]string {
+	pending := make(map[[2]ioa.Loc][]string)
+	for _, a := range t {
+		switch a.Kind {
+		case ioa.KindSend:
+			key := [2]ioa.Loc{a.Loc, a.Peer}
+			pending[key] = append(pending[key], a.Payload)
+		case ioa.KindReceive:
+			key := [2]ioa.Loc{a.Peer, a.Loc}
+			q := pending[key]
+			if len(q) > 0 && q[0] == a.Payload {
+				pending[key] = q[1:]
+				if len(pending[key]) == 0 {
+					delete(pending, key)
+				}
+			}
+		}
+	}
+	return pending
+}

@@ -1,0 +1,116 @@
+package problems
+
+import (
+	"testing"
+
+	"repro/internal/afd"
+	"repro/internal/consensus"
+	"repro/internal/ioa"
+	"repro/internal/sched"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// TestConsensusViaParticipant is the first Section-10.1 reduction: the
+// participant oracle suffices to solve (multi-valued) consensus, including
+// with crashes of non-answered locations.
+func TestConsensusViaParticipant(t *testing.T) {
+	const n = 3
+	for _, seed := range []int64{-1, 1, 2, 3} {
+		autos := ConsensusViaParticipantProcs(n)
+		autos = append(autos, system.Channels(n)...)
+		autos = append(autos, NewParticipantOracle(n))
+		autos = append(autos, system.ConsensusEnvsFixed([]int{1, 0, 1})...)
+		autos = append(autos, system.NewCrash(system.NoFaults()))
+		sys, err := ioa.NewSystem(autos...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := sched.Options{MaxSteps: 10_000}
+		if seed >= 0 {
+			sched.Random(sys, seed, opts)
+		} else {
+			sched.RoundRobin(sys, opts)
+		}
+		full := sys.Trace()
+		if err := CheckParticipant(full); err != nil {
+			t.Fatalf("seed %d: oracle misbehaved: %v", seed, err)
+		}
+		decs := consensus.Decisions(full)
+		if len(decs) != n {
+			t.Fatalf("seed %d: %d decisions, want %d", seed, len(decs), n)
+		}
+		for _, d := range decs {
+			if d.Payload != decs[0].Payload {
+				t.Fatalf("seed %d: agreement violated: %v", seed, decs)
+			}
+		}
+		// Validity: the decision is one of the proposals.
+		if decs[0].Payload != "0" && decs[0].Payload != "1" {
+			t.Fatalf("seed %d: decision %q not a proposal", seed, decs[0].Payload)
+		}
+	}
+}
+
+// TestParticipantViaConsensus is the converse reduction: a consensus
+// solution (the CT algorithm with Ω) answers participant queries.
+func TestParticipantViaConsensus(t *testing.T) {
+	const n = 3
+	procs, err := ParticipantViaConsensusProcs(n, afd.FamilyOmega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := afd.Lookup(afd.FamilyOmega, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	autos := procs
+	autos = append(autos, system.Channels(n)...)
+	autos = append(autos, QuerierEnvs(n, 2)...)
+	autos = append(autos, d.Automaton(n))
+	autos = append(autos, system.NewCrash(system.NoFaults()))
+	sys, err := ioa.NewSystem(autos...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RoundRobin(sys, sched.Options{MaxSteps: 20_000})
+	full := sys.Trace()
+
+	answers := trace.Project(full, func(a ioa.Action) bool {
+		return a.Kind == ioa.KindFD && a.Name == FamilyParticipant
+	})
+	if len(answers) != 2*n {
+		t.Fatalf("%d answers, want %d (2 per location)", len(answers), 2*n)
+	}
+	if err := CheckParticipant(full); err != nil {
+		t.Fatalf("participant property violated: %v", err)
+	}
+	// No consensus decide outputs leak: the hosted decision is hidden.
+	if leaks := consensus.Decisions(full); len(leaks) != 0 {
+		t.Fatalf("hosted consensus decisions leaked: %v", leaks)
+	}
+}
+
+func TestQuerierEnv(t *testing.T) {
+	q := NewQuerierEnv(1, 2)
+	a, ok := q.Enabled(0)
+	if !ok || a != Query(1) {
+		t.Fatalf("Enabled = %v", a)
+	}
+	q.Fire(a)
+	q.Fire(a)
+	if _, ok := q.Enabled(0); ok {
+		t.Fatal("query budget exceeded")
+	}
+	q2 := NewQuerierEnv(0, 5)
+	q2.Input(ioa.Crash(0))
+	if _, ok := q2.Enabled(0); ok {
+		t.Fatal("crashed querier still querying")
+	}
+	if !q2.Accepts(ioa.FDOutput(FamilyParticipant, 0, "1")) {
+		t.Fatal("querier must absorb answers at its location")
+	}
+	if q2.Accepts(ioa.FDOutput(FamilyParticipant, 1, "1")) {
+		t.Fatal("querier must ignore other locations' answers")
+	}
+}

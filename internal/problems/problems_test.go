@@ -1,0 +1,220 @@
+package problems
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+func prop(i ioa.Loc, v string) ioa.Action { return ioa.EnvInput(system.ActNamePropose, i, v) }
+func dec(i ioa.Loc, v string) ioa.Action  { return ioa.EnvOutput(system.ActNameDecide, i, v) }
+func elect(i ioa.Loc, l string) ioa.Action {
+	return ioa.EnvOutput(ActNameElect, i, l)
+}
+
+func TestLeaderElectionChecker(t *testing.T) {
+	p := LeaderElection{N: 2}
+	good := trace.T{elect(0, "1"), elect(1, "1")}
+	if err := p.Check(good, true); err != nil {
+		t.Errorf("good trace rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		t    trace.T
+	}{
+		{"disagree", trace.T{elect(0, "0"), elect(1, "1")}},
+		{"twice", trace.T{elect(0, "1"), elect(0, "1"), elect(1, "1")}},
+		{"faulty winner", trace.T{ioa.Crash(1), elect(0, "1")}},
+		{"after crash", trace.T{ioa.Crash(0), elect(0, "0"), elect(1, "0")}},
+		{"missing", trace.T{elect(0, "0")}},
+	}
+	for _, tc := range bad {
+		if err := p.Check(tc.t, true); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Incomplete prefixes allow missing decisions.
+	if err := p.Check(trace.T{elect(0, "0")}, false); err != nil {
+		t.Errorf("prefix rejected: %v", err)
+	}
+}
+
+func TestKSetAgreementChecker(t *testing.T) {
+	p := KSetAgreement{N: 3, K: 2}
+	good := trace.T{
+		prop(0, "a"), prop(1, "b"), prop(2, "c"),
+		dec(0, "a"), dec(1, "b"), dec(2, "a"),
+	}
+	if err := p.Check(good, true); err != nil {
+		t.Errorf("2 values within k=2 rejected: %v", err)
+	}
+	threeVals := trace.T{
+		prop(0, "a"), prop(1, "b"), prop(2, "c"),
+		dec(0, "a"), dec(1, "b"), dec(2, "c"),
+	}
+	if err := p.Check(threeVals, true); err == nil {
+		t.Error("3 values with k=2 accepted")
+	}
+	if err := (KSetAgreement{N: 3, K: 3}).Check(threeVals, true); err != nil {
+		t.Errorf("3 values with k=3 rejected: %v", err)
+	}
+	unproposed := trace.T{prop(0, "a"), prop(1, "a"), prop(2, "a"), dec(0, "z"), dec(1, "a"), dec(2, "a")}
+	if err := p.Check(unproposed, true); err == nil {
+		t.Error("unproposed decision accepted")
+	}
+}
+
+func TestNBACChecker(t *testing.T) {
+	p := NBAC{N: 2}
+	vote := func(i ioa.Loc, v string) ioa.Action { return ioa.EnvInput(ActNameVote, i, v) }
+	out := func(i ioa.Loc, v string) ioa.Action { return ioa.EnvOutput(ActNameOutcome, i, v) }
+
+	commit := trace.T{vote(0, VoteYes), vote(1, VoteYes), out(0, OutcomeCommit), out(1, OutcomeCommit)}
+	if err := p.Check(commit, true); err != nil {
+		t.Errorf("all-yes commit rejected: %v", err)
+	}
+	badCommit := trace.T{vote(0, VoteYes), vote(1, VoteNo), out(0, OutcomeCommit), out(1, OutcomeCommit)}
+	if err := p.Check(badCommit, true); err == nil {
+		t.Error("commit with a no vote accepted")
+	}
+	abortOK := trace.T{vote(0, VoteYes), vote(1, VoteNo), out(0, OutcomeAbort), out(1, OutcomeAbort)}
+	if err := p.Check(abortOK, true); err != nil {
+		t.Errorf("abort with a no vote rejected: %v", err)
+	}
+	badAbort := trace.T{vote(0, VoteYes), vote(1, VoteYes), out(0, OutcomeAbort), out(1, OutcomeAbort)}
+	if err := p.Check(badAbort, true); err == nil {
+		t.Error("gratuitous abort accepted")
+	}
+	abortAfterCrash := trace.T{vote(0, VoteYes), ioa.Crash(1), out(0, OutcomeAbort)}
+	if err := p.Check(abortAfterCrash, true); err != nil {
+		t.Errorf("abort after crash rejected: %v", err)
+	}
+	disagree := trace.T{vote(0, VoteYes), vote(1, VoteNo), out(0, OutcomeAbort), out(1, OutcomeCommit)}
+	if err := p.Check(disagree, true); err == nil {
+		t.Error("disagreeing outcomes accepted")
+	}
+}
+
+func TestBoundedWitness(t *testing.T) {
+	le := LeaderElection{N: 2}
+	isOut := func(a ioa.Action) bool { return a.Kind == ioa.KindEnvOut && a.Name == ActNameElect }
+	w := Witness{
+		Traces: []trace.T{
+			{elect(0, "0"), elect(1, "0")},
+			{elect(0, "1"), ioa.Crash(1)},
+		},
+		IsTrace:  func(t trace.T) error { return le.Check(t, false) },
+		IsOutput: isOut,
+	}
+	if err := w.CheckCrashIndependence(); err != nil {
+		t.Errorf("leader election should be crash independent: %v", err)
+	}
+	maxSeen, err := w.CheckBoundedLength(2)
+	if err != nil {
+		t.Errorf("bounded length: %v", err)
+	}
+	if maxSeen != 2 {
+		t.Errorf("maxlen = %d, want 2", maxSeen)
+	}
+	if _, err := w.CheckBoundedLength(1); err == nil {
+		t.Error("bound 1 should fail with 2 outputs")
+	}
+}
+
+func TestBoundedWitnessRefutesLongLived(t *testing.T) {
+	// A "mutex-like" long-lived stream of grant outputs refutes any fixed
+	// bound: the classifier correctly rejects the boundedness claim.
+	grants := make(trace.T, 0, 100)
+	for i := 0; i < 100; i++ {
+		grants = append(grants, ioa.EnvOutput("grant", 0, "x"))
+	}
+	w := Witness{
+		Traces:   []trace.T{grants},
+		IsTrace:  func(trace.T) error { return nil },
+		IsOutput: func(a ioa.Action) bool { return a.Name == "grant" },
+	}
+	if _, err := w.CheckBoundedLength(10); err == nil {
+		t.Error("long-lived trace accepted as bounded")
+	}
+}
+
+func TestQuiescentCut(t *testing.T) {
+	tr := trace.T{
+		ioa.Send(0, 1, "a"),
+		ioa.Send(1, 0, "b"),
+		ioa.Receive(1, 0, "a"),
+		ioa.Send(0, 1, "c"),
+	}
+	pending := PendingMessages(tr)
+	if len(pending) != 2 {
+		t.Fatalf("pending channels = %d, want 2", len(pending))
+	}
+	cut := QuiescentCut(tr, pending)
+	if len(cut) != len(tr)+2 {
+		t.Fatalf("cut has %d events, want %d", len(cut), len(tr)+2)
+	}
+	// All pending messages delivered: recomputing pending must be empty.
+	if rem := PendingMessages(cut); len(rem) != 0 {
+		t.Fatalf("quiescent cut leaves %d channels pending", len(rem))
+	}
+	// Lexicographic channel order: (0,1) before (1,0).
+	if cut[len(cut)-2] != (ioa.Receive(1, 0, "c")) {
+		t.Errorf("expected receive of c first, got %v", cut[len(cut)-2])
+	}
+	if cut[len(cut)-1] != (ioa.Receive(0, 1, "b")) {
+		t.Errorf("expected receive of b last, got %v", cut[len(cut)-1])
+	}
+}
+
+func TestParticipantOracleSemantics(t *testing.T) {
+	o := NewParticipantOracle(3)
+	if _, ok := o.Enabled(0); ok {
+		t.Fatal("no queries, no answers")
+	}
+	o.Input(Query(2))
+	o.Input(Query(0))
+	act, ok := o.Enabled(0)
+	if !ok || act.Loc != 2 || act.Payload != "2" {
+		t.Fatalf("first answer = %v, want chosen=2 at loc 2", act)
+	}
+	o.Fire(act)
+	act, _ = o.Enabled(0)
+	if act.Loc != 0 || act.Payload != "2" {
+		t.Fatalf("second answer = %v, want chosen=2 at loc 0", act)
+	}
+	// Crashed queriers are skipped.
+	o.Input(Query(1))
+	o.Input(ioa.Crash(0))
+	act, ok = o.Enabled(0)
+	if !ok || act.Loc != 1 {
+		t.Fatalf("answer after crash = %v, want loc 1", act)
+	}
+}
+
+func TestCheckParticipant(t *testing.T) {
+	good := trace.T{
+		Query(1), Query(0),
+		ioa.FDOutput(FamilyParticipant, 1, "1"),
+		ioa.FDOutput(FamilyParticipant, 0, "1"),
+	}
+	if err := CheckParticipant(good); err != nil {
+		t.Errorf("good participant trace rejected: %v", err)
+	}
+	disagree := trace.T{
+		Query(0), Query(1),
+		ioa.FDOutput(FamilyParticipant, 0, "0"),
+		ioa.FDOutput(FamilyParticipant, 1, "1"),
+	}
+	if err := CheckParticipant(disagree); err == nil {
+		t.Error("disagreeing answers accepted")
+	}
+	nonParticipant := trace.T{
+		Query(0),
+		ioa.FDOutput(FamilyParticipant, 0, "2"),
+	}
+	if err := CheckParticipant(nonParticipant); err == nil {
+		t.Error("answer naming a non-querier accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package problems
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// QuerierEnv is a per-location environment automaton that issues a fixed
+// number of detector queries and absorbs the answers.  It is the "external
+// world" of the query-based interaction mode of Section 10.1.
+type QuerierEnv struct {
+	id      ioa.Loc
+	queries int
+	sent    int
+	stopped bool
+}
+
+var _ ioa.Automaton = (*QuerierEnv)(nil)
+
+// NewQuerierEnv returns an environment issuing `queries` queries at id.
+func NewQuerierEnv(id ioa.Loc, queries int) *QuerierEnv {
+	return &QuerierEnv{id: id, queries: queries}
+}
+
+// QuerierEnvs returns one querier per location.
+func QuerierEnvs(n, queries int) []ioa.Automaton {
+	out := make([]ioa.Automaton, n)
+	for i := 0; i < n; i++ {
+		out[i] = NewQuerierEnv(ioa.Loc(i), queries)
+	}
+	return out
+}
+
+// Name implements ioa.Automaton.
+func (q *QuerierEnv) Name() string { return fmt.Sprintf("querier[%v]", q.id) }
+
+// Accepts implements ioa.Automaton: detector answers and the crash.
+func (q *QuerierEnv) Accepts(a ioa.Action) bool {
+	if a.Loc != q.id {
+		return false
+	}
+	return a.Kind == ioa.KindCrash || (a.Kind == ioa.KindFD && a.Name == FamilyParticipant)
+}
+
+// Input implements ioa.Automaton.
+func (q *QuerierEnv) Input(a ioa.Action) {
+	if a.Kind == ioa.KindCrash {
+		q.stopped = true
+	}
+}
+
+// NumTasks implements ioa.Automaton.
+func (q *QuerierEnv) NumTasks() int { return 1 }
+
+// TaskLabel implements ioa.Automaton.
+func (q *QuerierEnv) TaskLabel(int) string { return "query" }
+
+// Enabled implements ioa.Automaton.
+func (q *QuerierEnv) Enabled(int) (ioa.Action, bool) {
+	if q.stopped || q.sent >= q.queries {
+		return ioa.Action{}, false
+	}
+	return Query(q.id), true
+}
+
+// Fire implements ioa.Automaton.
+func (q *QuerierEnv) Fire(ioa.Action) { q.sent++ }
+
+// Clone implements ioa.Automaton.
+func (q *QuerierEnv) Clone() ioa.Automaton {
+	c := *q
+	return &c
+}
+
+// Encode implements ioa.Automaton.
+func (q *QuerierEnv) Encode() string {
+	return fmt.Sprintf("Q%v|%d/%d|%t", q.id, q.sent, q.queries, q.stopped)
+}

@@ -1,0 +1,292 @@
+package problems
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/consensus"
+	"repro/internal/ioa"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// Terminating Reliable Broadcast (TRB), one of Section 7.3's examples of a
+// bounded problem.  A designated sender s may broadcast one value; every
+// live location must deliver either that value or the distinguished "sender
+// faulty" verdict SF, all agreeing:
+//
+//	termination – every live location delivers exactly once;
+//	agreement   – all deliveries carry the same payload;
+//	validity    – if the sender is live, the delivered payload is its value;
+//	integrity   – SF may be delivered only if the sender is faulty.
+//
+// TRB is solvable with P (strong accuracy makes "suspect the sender" proof
+// of crash): each location waits for the sender's value or the sender's
+// suspicion, then runs a consensus (the CT96 S-algorithm, hosted like
+// NBAC's) on "value or SF" and delivers the decision.
+//
+// TRB is bounded (one output per location): its traces feed the Section-7.3
+// classifiers, in contrast to the long-lived ◇-mutex.
+
+// TRB action names and the sender-faulty verdict.
+const (
+	ActNameTRBBcast   = "trb-bcast"
+	ActNameTRBDeliver = "trb-deliver"
+	TRBSenderFaulty   = "SF"
+)
+
+// TRBSpec checks TRB traces for a designated sender.
+type TRBSpec struct {
+	N      int
+	Sender ioa.Loc
+}
+
+// Check verifies a finite TRB trace over bcast/deliver/crash events.
+func (s TRBSpec) Check(t trace.T, complete bool) error {
+	crashed := make(map[ioa.Loc]bool)
+	var sent string
+	hasSent := false
+	delivered := make(map[ioa.Loc]string)
+	for _, a := range t {
+		switch {
+		case a.Kind == ioa.KindCrash:
+			crashed[a.Loc] = true
+		case a.Kind == ioa.KindEnvIn && a.Name == ActNameTRBBcast:
+			if a.Loc != s.Sender {
+				return fmt.Errorf("problems: broadcast at %v, but the sender is %v", a.Loc, s.Sender)
+			}
+			if hasSent {
+				return fmt.Errorf("problems: sender broadcast twice")
+			}
+			sent, hasSent = a.Payload, true
+		case a.Kind == ioa.KindEnvOut && a.Name == ActNameTRBDeliver:
+			if crashed[a.Loc] {
+				return fmt.Errorf("problems: deliver at %v after crash", a.Loc)
+			}
+			if _, dup := delivered[a.Loc]; dup {
+				return fmt.Errorf("problems: %v delivered twice (termination)", a.Loc)
+			}
+			delivered[a.Loc] = a.Payload
+		}
+	}
+	// Agreement.
+	var verdict string
+	first := true
+	for l, v := range delivered {
+		if first {
+			verdict, first = v, false
+			continue
+		}
+		if v != verdict {
+			return fmt.Errorf("problems: deliveries disagree (%q at %v vs %q)", v, l, verdict)
+		}
+	}
+	if !first {
+		// Integrity and validity.
+		if verdict == TRBSenderFaulty {
+			if !crashed[s.Sender] && complete {
+				return fmt.Errorf("problems: SF delivered but the sender is live (integrity)")
+			}
+		} else if !hasSent || verdict != sent {
+			return fmt.Errorf("problems: delivered %q, sender broadcast %q (validity)", verdict, sent)
+		}
+	}
+	if complete {
+		live := trace.Live(t, s.N)
+		for l := range live {
+			if _, ok := delivered[l]; !ok {
+				return fmt.Errorf("problems: live location %v never delivered (termination)", l)
+			}
+		}
+	}
+	return nil
+}
+
+// trbMachine hosts the wait-then-consensus construction.
+type trbMachine struct {
+	n      int
+	self   ioa.Loc
+	sender ioa.Loc
+	susp   *consensus.SetSuspector
+	ct     *consensus.SMachine
+
+	// got is the sender's value once known ("" before); senderBcast marks
+	// that our own location is the sender and has broadcast.
+	got      string
+	hasGot   bool
+	proposed bool
+	done     bool
+}
+
+var _ system.Machine = (*trbMachine)(nil)
+
+// TRBProcs returns the P-based TRB algorithm with the given sender.
+func TRBProcs(n int, sender ioa.Loc, family string) ([]ioa.Automaton, error) {
+	out := make([]ioa.Automaton, n)
+	for i := 0; i < n; i++ {
+		susp, err := consensus.SuspectorFor(family)
+		if err != nil {
+			return nil, err
+		}
+		set, ok := susp.(*consensus.SetSuspector)
+		if !ok {
+			return nil, fmt.Errorf("problems: TRB needs a suspicion-set detector, got %q", family)
+		}
+		ctSusp, _ := consensus.SuspectorFor(family)
+		m := &trbMachine{
+			n: n, self: ioa.Loc(i), sender: sender, susp: set,
+			ct: consensus.NewSMachine(n, ioa.Loc(i), ctSusp),
+		}
+		out[i] = system.NewProc("trb", ioa.Loc(i), n, m, []string{family}, []string{ActNameTRBBcast})
+	}
+	return out, nil
+}
+
+// OnStart implements system.Machine.
+func (m *trbMachine) OnStart(*system.Effects) {}
+
+// OnEnvInput implements system.Machine: the sender's broadcast.
+func (m *trbMachine) OnEnvInput(name, payload string, e *system.Effects) {
+	if name != ActNameTRBBcast || m.self != m.sender || m.hasGot {
+		return
+	}
+	m.got, m.hasGot = payload, true
+	e.Broadcast(m.n, "V|"+payload)
+	m.maybePropose(e)
+}
+
+// OnReceive implements system.Machine.
+func (m *trbMachine) OnReceive(from ioa.Loc, msg string, e *system.Effects) {
+	if strings.HasPrefix(msg, "V|") {
+		if !m.hasGot {
+			m.got, m.hasGot = msg[2:], true
+		}
+		m.maybePropose(e)
+		return
+	}
+	m.host(e, func(inner *system.Effects) { m.ct.OnReceive(from, msg, inner) })
+}
+
+// OnFD implements system.Machine.
+func (m *trbMachine) OnFD(a ioa.Action, e *system.Effects) {
+	m.susp.Update(a)
+	m.host(e, func(inner *system.Effects) { m.ct.OnFD(a, inner) })
+	m.maybePropose(e)
+}
+
+// maybePropose completes the phase-1 wait: the sender's value has arrived,
+// or the sender is suspected (with P: has crashed).
+func (m *trbMachine) maybePropose(e *system.Effects) {
+	if m.proposed {
+		return
+	}
+	proposal := ""
+	switch {
+	case m.hasGot:
+		proposal = m.got
+	case m.susp.Suspects(m.sender):
+		proposal = TRBSenderFaulty
+	default:
+		return
+	}
+	m.proposed = true
+	m.host(e, func(inner *system.Effects) {
+		m.ct.OnEnvInput(system.ActNamePropose, proposal, inner)
+	})
+}
+
+// host forwards the embedded consensus's sends; its decide output becomes
+// the TRB delivery.
+func (m *trbMachine) host(e *system.Effects, f func(*system.Effects)) {
+	inner := system.NewEffects(m.self)
+	f(inner)
+	for _, a := range inner.Pending() {
+		if a.Kind == ioa.KindEnvOut && a.Name == system.ActNameDecide {
+			continue
+		}
+		e.Emit(a)
+	}
+	if m.done {
+		return
+	}
+	if v, ok := m.ct.Decided(); ok {
+		m.done = true
+		e.Output(ActNameTRBDeliver, v)
+	}
+}
+
+// Clone implements system.Machine.
+func (m *trbMachine) Clone() system.Machine {
+	return &trbMachine{
+		n: m.n, self: m.self, sender: m.sender,
+		susp: m.susp.Clone().(*consensus.SetSuspector),
+		ct:   m.ct.Clone().(*consensus.SMachine),
+		got:  m.got, hasGot: m.hasGot, proposed: m.proposed, done: m.done,
+	}
+}
+
+// Encode implements system.Machine.
+func (m *trbMachine) Encode() string {
+	return fmt.Sprintf("TR%v|g%t:%s|p%t|d%t|%s|%s",
+		m.self, m.hasGot, m.got, m.proposed, m.done, m.susp.Encode(), m.ct.Encode())
+}
+
+// TRBSenderEnv issues the sender's single broadcast.
+type TRBSenderEnv struct {
+	id      ioa.Loc
+	value   string
+	stopped bool
+}
+
+var _ ioa.Automaton = (*TRBSenderEnv)(nil)
+
+// NewTRBSenderEnv returns the sender environment.
+func NewTRBSenderEnv(id ioa.Loc, value string) *TRBSenderEnv {
+	return &TRBSenderEnv{id: id, value: value}
+}
+
+// Name implements ioa.Automaton.
+func (b *TRBSenderEnv) Name() string { return fmt.Sprintf("trbsender[%v]", b.id) }
+
+// Accepts implements ioa.Automaton.
+func (b *TRBSenderEnv) Accepts(a ioa.Action) bool {
+	if a.Loc != b.id {
+		return false
+	}
+	return a.Kind == ioa.KindCrash || (a.Kind == ioa.KindEnvOut && a.Name == ActNameTRBDeliver)
+}
+
+// Input implements ioa.Automaton.
+func (b *TRBSenderEnv) Input(a ioa.Action) {
+	if a.Kind == ioa.KindCrash {
+		b.stopped = true
+	}
+}
+
+// NumTasks implements ioa.Automaton.
+func (b *TRBSenderEnv) NumTasks() int { return 1 }
+
+// TaskLabel implements ioa.Automaton.
+func (b *TRBSenderEnv) TaskLabel(int) string { return "trb-bcast" }
+
+// Enabled implements ioa.Automaton.
+func (b *TRBSenderEnv) Enabled(int) (ioa.Action, bool) {
+	if b.stopped {
+		return ioa.Action{}, false
+	}
+	return ioa.EnvInput(ActNameTRBBcast, b.id, b.value), true
+}
+
+// Fire implements ioa.Automaton.
+func (b *TRBSenderEnv) Fire(ioa.Action) { b.stopped = true }
+
+// Clone implements ioa.Automaton.
+func (b *TRBSenderEnv) Clone() ioa.Automaton {
+	c := *b
+	return &c
+}
+
+// Encode implements ioa.Automaton.
+func (b *TRBSenderEnv) Encode() string {
+	return fmt.Sprintf("TS%v|%s|%t", b.id, b.value, b.stopped)
+}

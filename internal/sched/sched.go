@@ -1,0 +1,192 @@
+// Package sched produces executions of composed I/O automata systems.
+//
+// A fair execution in the sense of Section 2.4 of the paper gives every task
+// infinitely many turns; the round-robin scheduler realizes this directly,
+// and the seeded random scheduler realizes it with probability 1.  Both run
+// for a bounded number of steps, producing finite prefixes of fair
+// executions, which is what all specification checkers in this repository
+// consume.
+//
+// The crash automaton is special: per Section 4.4 *every* sequence over Iˆ is
+// one of its fair traces, so a scheduler may delay enabled crash actions
+// arbitrarily without violating fairness.  Options.Gate exploits this to
+// control fault timing.
+package sched
+
+import (
+	"math/rand"
+
+	"repro/internal/ioa"
+)
+
+// StopReason says why a run ended.
+type StopReason string
+
+// Stop reasons.
+const (
+	StopLimit     StopReason = "step-limit"
+	StopQuiescent StopReason = "quiescent"
+	StopCondition StopReason = "condition"
+)
+
+// Options configures a run.
+type Options struct {
+	// MaxSteps bounds the number of events performed (default 10_000).
+	MaxSteps int
+	// Stop, when non-nil, is evaluated after every event; returning true
+	// ends the run.
+	Stop func(sys *ioa.System, last ioa.Action) bool
+	// Gate, when non-nil, may veto scheduling an enabled action this turn.
+	// Gating is only sound for actions whose automaton tolerates arbitrary
+	// delay without breaking fairness (crash actions, per §4.4) or when the
+	// run intentionally explores unfair schedules (the FLP adversary).
+	Gate func(step int, tr ioa.TaskRef, act ioa.Action) bool
+}
+
+func (o Options) maxSteps() int {
+	if o.MaxSteps <= 0 {
+		return 10_000
+	}
+	return o.MaxSteps
+}
+
+// Result describes a finished run.
+type Result struct {
+	Steps  int
+	Reason StopReason
+}
+
+// CrashesAfter returns a Gate that blocks every crash action until the
+// system has performed at least step events, releasing the k-th planned
+// crash only after step + k*gap further events.
+func CrashesAfter(step, gap int) func(int, ioa.TaskRef, ioa.Action) bool {
+	released := 0
+	return func(now int, _ ioa.TaskRef, act ioa.Action) bool {
+		if act.Kind != ioa.KindCrash {
+			return true
+		}
+		if now >= step+released*gap {
+			released++
+			return true
+		}
+		return false
+	}
+}
+
+// RoundRobin runs sys under a fair round-robin task schedule until the step
+// limit, quiescence, or the stop condition.
+func RoundRobin(sys *ioa.System, opts Options) Result {
+	limit := opts.maxSteps()
+	tasks := sys.Tasks()
+	idleCycles := 0
+	for sys.Steps() < limit {
+		fired := false
+		for _, tr := range tasks {
+			if sys.Steps() >= limit {
+				break
+			}
+			act, ok := sys.Enabled(tr)
+			if !ok {
+				continue
+			}
+			if opts.Gate != nil && !opts.Gate(sys.Steps(), tr, act) {
+				continue
+			}
+			sys.Apply(tr.Auto, act)
+			fired = true
+			if opts.Stop != nil && opts.Stop(sys, act) {
+				return Result{Steps: sys.Steps(), Reason: StopCondition}
+			}
+		}
+		if !fired {
+			idleCycles++
+			// One fully idle cycle means nothing is enabled (or all
+			// enabled actions are gated); a second confirms no gate
+			// released anything based on the step count.
+			if idleCycles >= 2 {
+				return Result{Steps: sys.Steps(), Reason: StopQuiescent}
+			}
+		} else {
+			idleCycles = 0
+		}
+	}
+	return Result{Steps: sys.Steps(), Reason: StopLimit}
+}
+
+// Random runs sys picking uniformly among enabled (and un-gated) tasks.
+// Random schedules are fair with probability 1 over infinite runs; over the
+// bounded prefix they provide schedule diversity for property tests.
+func Random(sys *ioa.System, seed int64, opts Options) Result {
+	rng := rand.New(rand.NewSource(seed))
+	limit := opts.maxSteps()
+	tasks := sys.Tasks()
+	for sys.Steps() < limit {
+		type choice struct {
+			tr  ioa.TaskRef
+			act ioa.Action
+		}
+		var ready []choice
+		for _, tr := range tasks {
+			act, ok := sys.Enabled(tr)
+			if !ok {
+				continue
+			}
+			if opts.Gate != nil && !opts.Gate(sys.Steps(), tr, act) {
+				continue
+			}
+			ready = append(ready, choice{tr, act})
+		}
+		if len(ready) == 0 {
+			return Result{Steps: sys.Steps(), Reason: StopQuiescent}
+		}
+		c := ready[rng.Intn(len(ready))]
+		sys.Apply(c.tr.Auto, c.act)
+		if opts.Stop != nil && opts.Stop(sys, c.act) {
+			return Result{Steps: sys.Steps(), Reason: StopCondition}
+		}
+	}
+	return Result{Steps: sys.Steps(), Reason: StopLimit}
+}
+
+// Strategy chooses the next task among the currently enabled ones; it may
+// implement an adversary.  Returning -1 halts the run.
+type Strategy interface {
+	Choose(sys *ioa.System, enabled []ioa.TaskRef, acts []ioa.Action) int
+}
+
+// StrategyFunc adapts a function to Strategy.
+type StrategyFunc func(sys *ioa.System, enabled []ioa.TaskRef, acts []ioa.Action) int
+
+// Choose implements Strategy.
+func (f StrategyFunc) Choose(sys *ioa.System, enabled []ioa.TaskRef, acts []ioa.Action) int {
+	return f(sys, enabled, acts)
+}
+
+// Drive runs sys under the given strategy (which need not be fair) until the
+// step limit, quiescence, or the strategy halts.
+func Drive(sys *ioa.System, s Strategy, opts Options) Result {
+	limit := opts.maxSteps()
+	tasks := sys.Tasks()
+	for sys.Steps() < limit {
+		var enabled []ioa.TaskRef
+		var acts []ioa.Action
+		for _, tr := range tasks {
+			if act, ok := sys.Enabled(tr); ok {
+				enabled = append(enabled, tr)
+				acts = append(acts, act)
+			}
+		}
+		if len(enabled) == 0 {
+			return Result{Steps: sys.Steps(), Reason: StopQuiescent}
+		}
+		k := s.Choose(sys, enabled, acts)
+		if k < 0 {
+			return Result{Steps: sys.Steps(), Reason: StopCondition}
+		}
+		sys.Apply(enabled[k].Auto, acts[k])
+		if opts.Stop != nil && opts.Stop(sys, acts[k]) {
+			return Result{Steps: sys.Steps(), Reason: StopCondition}
+		}
+	}
+	return Result{Steps: sys.Steps(), Reason: StopLimit}
+}

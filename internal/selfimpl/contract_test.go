@@ -1,0 +1,24 @@
+package selfimpl
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+func TestAutomatonContracts(t *testing.T) {
+	ren := Renaming{From: "FD-A", To: "FD-A'"}
+	fresh := NewAself(0, ren)
+	loaded := NewAself(1, ren)
+	loaded.Input(ioa.FDOutput("FD-A", 1, "p"))
+	crashed := NewAself(2, ren)
+	crashed.Input(ioa.Crash(2))
+	for _, a := range []ioa.Automaton{fresh, loaded, crashed} {
+		if err := ioa.CheckAutomatonContract(a); err != nil {
+			t.Error(err)
+		}
+	}
+	if got := fresh.TaskLabel(0); got == "" {
+		t.Error("empty task label")
+	}
+}

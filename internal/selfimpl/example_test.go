@@ -1,0 +1,40 @@
+package selfimpl_test
+
+import (
+	"fmt"
+
+	"repro/internal/afd"
+	"repro/internal/ioa"
+	"repro/internal/sched"
+	"repro/internal/selfimpl"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// Stacking Algorithm 3 on the perfect detector and replaying the Section-6
+// proof on the resulting trace (Theorem 13).
+func ExampleVerifyProof() {
+	const n = 2
+	d, _ := afd.Lookup(afd.FamilyP, n)
+	ren := selfimpl.Renaming{From: afd.FamilyP, To: afd.FamilyP + "'"}
+
+	autos := []ioa.Automaton{d.Automaton(n)}
+	autos = append(autos, selfimpl.NewCollection(n, ren)...)
+	autos = append(autos, system.NewCrash(system.CrashOf(1)))
+	sys := ioa.MustNewSystem(autos...)
+	sched.RoundRobin(sys, sched.Options{MaxSteps: 80, Gate: sched.CrashesAfter(20, 0)})
+
+	mixed := trace.Project(sys.Trace(), func(a ioa.Action) bool {
+		return a.Kind == ioa.KindCrash || a.Kind == ioa.KindFD
+	})
+	rep, err := selfimpl.VerifyProof(mixed, n, ren)
+	if err != nil {
+		fmt.Println("proof:", err)
+		return
+	}
+	back := ren.InvertTrace(trace.FD(sys.Trace(), ren.To))
+	fmt.Println("relayed:", len(rep.REV), "renamed trace admissible:",
+		d.Check(back, n, afd.DefaultWindow()) == nil)
+	// Output:
+	// relayed: 39 renamed trace admissible: true
+}

@@ -1,0 +1,94 @@
+// Package system implements the system model of Section 4 (Figure 1) of
+// "Asynchronous Failure Detectors": process automata, reliable FIFO channel
+// automata, the crash automaton, and environment automata (including the
+// consensus environment EC of Algorithm 4).
+package system
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ioa"
+)
+
+// Channel is the channel automaton Ci,j of Section 4.3: a reliable FIFO
+// queue transporting messages from the process automaton at From to the
+// process automaton at To.  Its input actions are send(m, To)From, its
+// output actions receive(m, From)To, and it has a single task (§4.3: the
+// automaton is deterministic).
+//
+// Channels are unaffected by crashes: messages already sent are delivered
+// even if the sender subsequently crashes.
+type Channel struct {
+	From, To ioa.Loc
+	queue    []string
+}
+
+var _ ioa.Automaton = (*Channel)(nil)
+
+// NewChannel returns the empty channel automaton Cfrom,to.
+func NewChannel(from, to ioa.Loc) *Channel {
+	return &Channel{From: from, To: to}
+}
+
+// Name implements ioa.Automaton.
+func (c *Channel) Name() string { return fmt.Sprintf("chan[%v>%v]", c.From, c.To) }
+
+// Accepts implements ioa.Automaton: inputs are send(m, To)From.
+func (c *Channel) Accepts(a ioa.Action) bool {
+	return a.Kind == ioa.KindSend && a.Loc == c.From && a.Peer == c.To
+}
+
+// Input implements ioa.Automaton: enqueue the message.
+func (c *Channel) Input(a ioa.Action) { c.queue = append(c.queue, a.Payload) }
+
+// NumTasks implements ioa.Automaton.
+func (c *Channel) NumTasks() int { return 1 }
+
+// TaskLabel implements ioa.Automaton.
+func (c *Channel) TaskLabel(int) string { return "deliver" }
+
+// Enabled implements ioa.Automaton: receive(head, From)To when non-empty.
+func (c *Channel) Enabled(int) (ioa.Action, bool) {
+	if len(c.queue) == 0 {
+		return ioa.Action{}, false
+	}
+	return ioa.Receive(c.To, c.From, c.queue[0]), true
+}
+
+// Fire implements ioa.Automaton: dequeue the delivered message.
+func (c *Channel) Fire(ioa.Action) {
+	c.queue = c.queue[1:]
+}
+
+// Len returns the number of messages in transit.
+func (c *Channel) Len() int { return len(c.queue) }
+
+// Queue returns a copy of the messages in transit, head first.
+func (c *Channel) Queue() []string { return append([]string(nil), c.queue...) }
+
+// Clone implements ioa.Automaton.
+func (c *Channel) Clone() ioa.Automaton {
+	cc := &Channel{From: c.From, To: c.To}
+	cc.queue = append([]string(nil), c.queue...)
+	return cc
+}
+
+// Encode implements ioa.Automaton.
+func (c *Channel) Encode() string {
+	return fmt.Sprintf("C%v>%v[%s]", c.From, c.To, strings.Join(c.queue, "\x1f"))
+}
+
+// Channels returns the full mesh of n(n-1) channel automata for locations
+// 0..n-1, in lexicographic (from, to) order.
+func Channels(n int) []ioa.Automaton {
+	var out []ioa.Automaton
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				out = append(out, NewChannel(ioa.Loc(i), ioa.Loc(j)))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package system
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+// TestAutomatonContracts applies the shared structural contract to every
+// automaton this package defines, in fresh and in advanced states.
+func TestAutomatonContracts(t *testing.T) {
+	ch := NewChannel(0, 1)
+	ch.Input(ioa.Send(0, 1, "m"))
+	cr := NewCrash(CrashOf(0, 1))
+	cr.Fire(ioa.Crash(0))
+	env := NewConsensusEnv(0)
+	envFixed := NewConsensusEnvFixed(1, 1)
+	envFixed.Input(ioa.Crash(1))
+	proc := NewProc("echo", 0, 2, &echoMachine{n: 2, self: 0}, []string{"FD-Ω"}, []string{"propose"})
+	proc.Input(ioa.Receive(0, 1, "hello"))
+
+	for _, a := range []ioa.Automaton{ch, cr, env, envFixed, proc, NewChannel(1, 0), NewCrash(NoFaults())} {
+		if err := ioa.CheckAutomatonContract(a); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestChannelQueueCopy(t *testing.T) {
+	ch := NewChannel(0, 1)
+	ch.Input(ioa.Send(0, 1, "a"))
+	q := ch.Queue()
+	q[0] = "mutated"
+	if got := ch.Queue()[0]; got != "a" {
+		t.Fatalf("Queue returned shared storage: %q", got)
+	}
+}
+
+func TestTaskLabels(t *testing.T) {
+	if NewChannel(0, 1).TaskLabel(0) == "" {
+		t.Error("channel task label empty")
+	}
+	if NewCrash(CrashOf(2)).TaskLabel(0) == "" {
+		t.Error("crash task label empty")
+	}
+	if NewConsensusEnv(0).TaskLabel(1) == "" {
+		t.Error("env task label empty")
+	}
+	p := NewProc("x", 0, 1, &echoMachine{n: 1, self: 0}, nil, nil)
+	if p.TaskLabel(0) == "" {
+		t.Error("proc task label empty")
+	}
+	if p.NumTasks() != 1 {
+		t.Error("proc must have exactly one task")
+	}
+}

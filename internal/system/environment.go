@@ -1,0 +1,110 @@
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// ActNamePropose and ActNameDecide are the action families of the
+// f-crash-tolerant binary consensus problem (Section 9.1).
+const (
+	ActNamePropose = "propose"
+	ActNameDecide  = "decide"
+)
+
+// ConsensusEnv is the environment automaton EC,i of Algorithm 4 (Section
+// 9.2), one per location.  It has output actions propose(0)i and propose(1)i
+// (one task each), input actions decide(0)i, decide(1)i and crashi, and a
+// single stop flag: any propose or a crash permanently disables both propose
+// actions.  The composition of all ConsensusEnv automata is the well-formed
+// environment EC (Theorem 44).
+//
+// Allow restricts which values may be proposed at this location.  Algorithm
+// 4 enables both; a run with predetermined inputs enables exactly one, which
+// preserves well-formedness (the set of fair traces shrinks).
+type ConsensusEnv struct {
+	id    ioa.Loc
+	allow [2]bool
+	stop  bool
+}
+
+var _ ioa.Automaton = (*ConsensusEnv)(nil)
+
+// NewConsensusEnv returns EC,i with both propose values enabled.
+func NewConsensusEnv(i ioa.Loc) *ConsensusEnv {
+	return &ConsensusEnv{id: i, allow: [2]bool{true, true}}
+}
+
+// NewConsensusEnvFixed returns EC,i that proposes exactly v.
+func NewConsensusEnvFixed(i ioa.Loc, v int) *ConsensusEnv {
+	e := &ConsensusEnv{id: i}
+	e.allow[v] = true
+	return e
+}
+
+// Name implements ioa.Automaton.
+func (e *ConsensusEnv) Name() string { return fmt.Sprintf("env[%v]", e.id) }
+
+// Accepts implements ioa.Automaton: decide(b)i and crashi.
+func (e *ConsensusEnv) Accepts(a ioa.Action) bool {
+	if a.Loc != e.id {
+		return false
+	}
+	return a.Kind == ioa.KindCrash || (a.Kind == ioa.KindEnvOut && a.Name == ActNameDecide)
+}
+
+// Input implements ioa.Automaton.
+func (e *ConsensusEnv) Input(a ioa.Action) {
+	if a.Kind == ioa.KindCrash {
+		e.stop = true
+	}
+	// decide(b)i has no effect (Algorithm 4).
+}
+
+// NumTasks implements ioa.Automaton: Envi,0 and Envi,1.
+func (e *ConsensusEnv) NumTasks() int { return 2 }
+
+// TaskLabel implements ioa.Automaton.
+func (e *ConsensusEnv) TaskLabel(t int) string { return fmt.Sprintf("Env_%v,%d", e.id, t) }
+
+// Enabled implements ioa.Automaton.
+func (e *ConsensusEnv) Enabled(t int) (ioa.Action, bool) {
+	if e.stop || !e.allow[t] {
+		return ioa.Action{}, false
+	}
+	return ioa.EnvInput(ActNamePropose, e.id, fmt.Sprintf("%d", t)), true
+}
+
+// Fire implements ioa.Automaton: any propose sets stop (Proposition 43).
+func (e *ConsensusEnv) Fire(ioa.Action) { e.stop = true }
+
+// Clone implements ioa.Automaton.
+func (e *ConsensusEnv) Clone() ioa.Automaton {
+	c := *e
+	return &c
+}
+
+// Encode implements ioa.Automaton.
+func (e *ConsensusEnv) Encode() string {
+	return fmt.Sprintf("E%v|%t|%t%t", e.id, e.stop, e.allow[0], e.allow[1])
+}
+
+// ConsensusEnvs returns the n per-location environment automata whose
+// composition is EC.
+func ConsensusEnvs(n int) []ioa.Automaton {
+	out := make([]ioa.Automaton, n)
+	for i := 0; i < n; i++ {
+		out[i] = NewConsensusEnv(ioa.Loc(i))
+	}
+	return out
+}
+
+// ConsensusEnvsFixed returns environment automata proposing vals[i] at i.
+func ConsensusEnvsFixed(vals []int) []ioa.Automaton {
+	out := make([]ioa.Automaton, len(vals))
+	for i, v := range vals {
+		out[i] = NewConsensusEnvFixed(ioa.Loc(i), v)
+	}
+	return out
+}

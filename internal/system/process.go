@@ -1,0 +1,240 @@
+package system
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ioa"
+)
+
+// Machine is the algorithm logic hosted by a process automaton.  A Machine
+// reacts to inputs by queueing locally controlled actions through Effects;
+// the hosting Proc serializes them through its single task, which makes the
+// composed automaton deterministic in the paper's sense (§2.5: one task,
+// deterministic actions, unique start state).
+//
+// Machines never see events after the location crashes: the Proc base
+// implements the §4.2 crash semantics (crashi permanently disables all
+// locally controlled actions; subsequent inputs are absorbed silently).
+type Machine interface {
+	// OnStart is called once, before any event, to queue initial actions.
+	OnStart(e *Effects)
+	// OnReceive handles receive(m, from) at this location.
+	OnReceive(from ioa.Loc, m string, e *Effects)
+	// OnFD handles a failure-detector output event delivered at this
+	// location (any KindFD action the process subscribes to).
+	OnFD(a ioa.Action, e *Effects)
+	// OnEnvInput handles an environment input (e.g. propose).
+	OnEnvInput(name, payload string, e *Effects)
+	// Clone returns a deep copy of the machine state.
+	Clone() Machine
+	// Encode returns a canonical encoding of the machine state.
+	Encode() string
+}
+
+// Effects accumulates the locally controlled actions a Machine emits while
+// handling one event.  Actions are performed in FIFO order by the process
+// task.
+type Effects struct {
+	self    ioa.Loc
+	pending []ioa.Action
+}
+
+// NewEffects returns an Effects accumulator for the given location.  The
+// Proc base builds these internally; the constructor is exported so Machine
+// implementations can be unit-tested in isolation.
+func NewEffects(self ioa.Loc) *Effects { return &Effects{self: self} }
+
+// Pending returns the actions queued so far, in emission order.
+func (e *Effects) Pending() []ioa.Action { return e.pending }
+
+// Send queues send(m, to)self.
+func (e *Effects) Send(to ioa.Loc, m string) {
+	e.pending = append(e.pending, ioa.Send(e.self, to, m))
+}
+
+// Broadcast queues send(m, j)self for every j ≠ self among 0..n-1.
+func (e *Effects) Broadcast(n int, m string) {
+	for j := 0; j < n; j++ {
+		if ioa.Loc(j) != e.self {
+			e.Send(ioa.Loc(j), m)
+		}
+	}
+}
+
+// Output queues an environment output (e.g. decide).
+func (e *Effects) Output(name, payload string) {
+	e.pending = append(e.pending, ioa.EnvOutput(name, e.self, payload))
+}
+
+// OutputFD queues a failure-detector output event at this location; used by
+// distributed algorithms that *solve* an AFD (Sections 5.4–7).
+func (e *Effects) OutputFD(family, payload string) {
+	e.pending = append(e.pending, ioa.FDOutput(family, e.self, payload))
+}
+
+// Emit queues an arbitrary locally controlled action.
+func (e *Effects) Emit(a ioa.Action) { e.pending = append(e.pending, a) }
+
+// Proc is the process automaton proc(i) of Section 4.2: it hosts a Machine,
+// absorbs crashi by permanently disabling its locally controlled actions,
+// accepts receive events addressed to it, the failure-detector families it
+// subscribes to, and the environment inputs it declares.
+type Proc struct {
+	id      ioa.Loc
+	n       int
+	label   string
+	fdNames map[string]bool // subscribed KindFD families
+	envIn   map[string]bool // accepted KindEnvIn names
+	failed  bool
+	started bool
+	outbox  []ioa.Action
+	m       Machine
+}
+
+var _ ioa.Automaton = (*Proc)(nil)
+
+// NewProc hosts machine m at location id in a system of n locations.
+// fdNames lists the failure-detector action families delivered to the
+// machine; envInputs lists accepted environment input names.
+func NewProc(label string, id ioa.Loc, n int, m Machine, fdNames, envInputs []string) *Proc {
+	p := &Proc{
+		id:      id,
+		n:       n,
+		label:   label,
+		fdNames: make(map[string]bool, len(fdNames)),
+		envIn:   make(map[string]bool, len(envInputs)),
+		m:       m,
+	}
+	for _, f := range fdNames {
+		p.fdNames[f] = true
+	}
+	for _, e := range envInputs {
+		p.envIn[e] = true
+	}
+	// OnStart runs against the unique start state, before any input.
+	eff := &Effects{self: id}
+	m.OnStart(eff)
+	p.outbox = eff.pending
+	p.started = true
+	return p
+}
+
+// ID returns the hosted location.
+func (p *Proc) ID() ioa.Loc { return p.id }
+
+// Failed reports whether crashi has occurred.
+func (p *Proc) Failed() bool { return p.failed }
+
+// MachineState exposes the hosted machine for assertions in tests.
+func (p *Proc) MachineState() Machine { return p.m }
+
+// Name implements ioa.Automaton.
+func (p *Proc) Name() string { return fmt.Sprintf("%s[%v]", p.label, p.id) }
+
+// Accepts implements ioa.Automaton.
+func (p *Proc) Accepts(a ioa.Action) bool {
+	switch a.Kind {
+	case ioa.KindCrash:
+		return a.Loc == p.id
+	case ioa.KindReceive:
+		return a.Loc == p.id
+	case ioa.KindFD:
+		return a.Loc == p.id && p.fdNames[a.Name]
+	case ioa.KindEnvIn:
+		return a.Loc == p.id && p.envIn[a.Name]
+	default:
+		return false
+	}
+}
+
+// Input implements ioa.Automaton.  Per §4.2, inputs arriving after crashi
+// have no visible effect (all locally controlled actions stay disabled), so
+// they are absorbed without consulting the machine.
+func (p *Proc) Input(a ioa.Action) {
+	if a.Kind == ioa.KindCrash {
+		p.failed = true
+		return
+	}
+	if p.failed {
+		return
+	}
+	eff := &Effects{self: p.id}
+	switch a.Kind {
+	case ioa.KindReceive:
+		p.m.OnReceive(a.Peer, a.Payload, eff)
+	case ioa.KindFD:
+		p.m.OnFD(a, eff)
+	case ioa.KindEnvIn:
+		p.m.OnEnvInput(a.Name, a.Payload, eff)
+	}
+	p.outbox = append(p.outbox, eff.pending...)
+}
+
+// NumTasks implements ioa.Automaton: a process automaton is deterministic,
+// hence has exactly one task (§2.5, §4.2).
+func (p *Proc) NumTasks() int { return 1 }
+
+// TaskLabel implements ioa.Automaton.
+func (p *Proc) TaskLabel(int) string { return "step" }
+
+// Enabled implements ioa.Automaton: the head of the outbox, unless crashed.
+func (p *Proc) Enabled(int) (ioa.Action, bool) {
+	if p.failed || len(p.outbox) == 0 {
+		return ioa.Action{}, false
+	}
+	return p.outbox[0], true
+}
+
+// Fire implements ioa.Automaton.
+func (p *Proc) Fire(ioa.Action) {
+	p.outbox = p.outbox[1:]
+}
+
+// PendingOutputs returns the number of queued locally controlled actions.
+func (p *Proc) PendingOutputs() int { return len(p.outbox) }
+
+// Clone implements ioa.Automaton.
+func (p *Proc) Clone() ioa.Automaton {
+	c := &Proc{
+		id:      p.id,
+		n:       p.n,
+		label:   p.label,
+		fdNames: p.fdNames, // immutable after construction
+		envIn:   p.envIn,   // immutable after construction
+		failed:  p.failed,
+		started: p.started,
+		m:       p.m.Clone(),
+	}
+	c.outbox = append([]ioa.Action(nil), p.outbox...)
+	return c
+}
+
+// Encode implements ioa.Automaton.
+func (p *Proc) Encode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P%v|f=%t|", p.id, p.failed)
+	for _, a := range p.outbox {
+		b.WriteString(a.String())
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	b.WriteString(p.m.Encode())
+	return b.String()
+}
+
+// NopMachine is a Machine with no behavior; useful as a base to embed when a
+// machine only reacts to a subset of events.
+type NopMachine struct{}
+
+// OnStart implements Machine.
+func (NopMachine) OnStart(*Effects) {}
+
+// OnReceive implements Machine.
+func (NopMachine) OnReceive(ioa.Loc, string, *Effects) {}
+
+// OnFD implements Machine.
+func (NopMachine) OnFD(ioa.Action, *Effects) {}
+
+// OnEnvInput implements Machine.
+func (NopMachine) OnEnvInput(string, string, *Effects) {}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := T{
+		ioa.Crash(1),
+		ioa.Send(0, 1, "m"),
+		ioa.Send(1, 0, "x"),
+		ioa.Receive(1, 0, "m"),
+		ioa.FDOutput("FD-Ω", 2, "0"),
+		ioa.EnvInput("propose", 0, "1"),
+		ioa.EnvOutput("decide", 0, "1"),
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, tr) {
+		t.Fatalf("round trip mismatch:\nwant %v\ngot  %v", tr, got)
+	}
+}
+
+func TestJSONPeerZeroPreserved(t *testing.T) {
+	tr := T{ioa.Send(1, 0, "m")} // peer 0 must survive omitempty handling
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Peer != 0 {
+		t.Fatalf("peer = %v, want 0", got[0].Peer)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`[{"kind":"zzz","loc":0}]`,
+		`[{"kind":"send","loc":0}]`,             // missing peer
+		`[{"kind":"fd","loc":0,"payload":"1"}]`, // missing name
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadJSON(%q) succeeded, want error", c)
+		}
+	}
+	// Crash without explicit name is fine.
+	got, err := ReadJSON(strings.NewReader(`[{"kind":"crash","loc":2}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != ioa.Crash(2) {
+		t.Fatalf("got %v", got[0])
+	}
+}

@@ -1,0 +1,69 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/afd"
+	"repro/internal/ioa"
+	"repro/internal/sched"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// RunSpec configures a reduction run.
+type RunSpec struct {
+	N         int
+	Crash     []ioa.Loc
+	Steps     int
+	Seed      int64 // <0: round-robin
+	CrashGate int
+	// WithChannels adds the full channel mesh; required for Gossip.
+	WithChannels bool
+	// Hide lists detector families to hide in the composition (Section
+	// 2.3): chained reductions hide the intermediate families so only the
+	// final detector's outputs remain externally visible.
+	Hide []string
+}
+
+func (s RunSpec) steps() int {
+	if s.Steps <= 0 {
+		return 256 * s.N
+	}
+	return s.Steps
+}
+
+// Run composes the source detector's canonical automaton, the reduction's
+// process automata, (optionally) the channel mesh, and a crash automaton;
+// runs it; and returns the trace projected onto Iˆ plus the target family's
+// outputs — the sequence the target detector's checker judges.
+func Run(source afd.Detector, procs []ioa.Automaton, targetFamily string, spec RunSpec) (trace.T, error) {
+	autos := []ioa.Automaton{source.Automaton(spec.N)}
+	autos = append(autos, procs...)
+	if spec.WithChannels {
+		autos = append(autos, system.Channels(spec.N)...)
+	}
+	autos = append(autos, system.NewCrash(system.CrashOf(spec.Crash...)))
+	sys, err := ioa.NewSystem(autos...)
+	if err != nil {
+		return nil, fmt.Errorf("transform: composing: %w", err)
+	}
+	if len(spec.Hide) > 0 {
+		hidden := make(map[string]bool, len(spec.Hide))
+		for _, f := range spec.Hide {
+			hidden[f] = true
+		}
+		sys.Hide(func(a ioa.Action) bool {
+			return a.Kind == ioa.KindFD && hidden[a.Name]
+		})
+	}
+	opts := sched.Options{MaxSteps: spec.steps()}
+	if spec.CrashGate > 0 {
+		opts.Gate = sched.CrashesAfter(spec.CrashGate, spec.CrashGate)
+	}
+	if spec.Seed >= 0 {
+		sched.Random(sys, spec.Seed, opts)
+	} else {
+		sched.RoundRobin(sys, opts)
+	}
+	return trace.FD(sys.Trace(), targetFamily), nil
+}

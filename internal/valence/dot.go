@@ -1,0 +1,83 @@
+package valence
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the explored graph in Graphviz DOT, colored by valence
+// (bivalent = orange, 0-valent = skyblue, 1-valent = palegreen, unknown =
+// gray) with decide edges drawn bold red and FD edges dashed — a visual
+// rendering of the paper's Figures 2–3 on real systems.  maxNodes caps the
+// output (0 = 2000); nodes are emitted in BFS order from the root so small
+// caps show the neighborhood where hooks live.
+func (e *Explorer) WriteDOT(w io.Writer, maxNodes int) error {
+	if maxNodes <= 0 {
+		maxNodes = 2000
+	}
+	include := make(map[NodeID]bool, maxNodes)
+	order := make([]NodeID, 0, maxNodes)
+	queue := []NodeID{e.Root()}
+	include[e.Root()] = true
+	for len(queue) > 0 && len(order) < maxNodes {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, ed := range e.nodes[id].edges {
+			if !include[ed.to] && len(include) < maxNodes {
+				include[ed.to] = true
+				queue = append(queue, ed.to)
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintln(w, "digraph rtd {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB; node [shape=circle, style=filled, fontsize=8];")
+	for _, id := range order {
+		color := "gray"
+		switch e.Valence(id) {
+		case ValBivalent:
+			color = "orange"
+		case ValZero:
+			color = "skyblue"
+		case ValOne:
+			color = "palegreen"
+		}
+		label := fmt.Sprintf("%d\\nfd=%d", id, e.nodes[id].fdIdx)
+		if id == e.Root() {
+			label = "⊤\\n" + label
+		}
+		fmt.Fprintf(w, "  n%d [fillcolor=%s, label=\"%s\"];\n", id, color, label)
+	}
+	for _, id := range order {
+		for _, ed := range e.nodes[id].edges {
+			if !include[ed.to] {
+				continue
+			}
+			attrs := ""
+			if ed.label == LabelFD {
+				attrs = ", style=dashed"
+			}
+			if _, ok := decideBit(ed.act); ok {
+				attrs = ", color=red, penwidth=2"
+			}
+			fmt.Fprintf(w, "  n%d -> n%d [label=\"%s\", fontsize=7%s];\n",
+				id, ed.to, dotEscape(ed.act.String()), attrs)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func dotEscape(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == '"' || r == '\\' {
+			out = append(out, '\\')
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}

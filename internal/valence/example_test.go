@@ -1,0 +1,32 @@
+package valence_test
+
+import (
+	"fmt"
+
+	"repro/internal/afd"
+	"repro/internal/valence"
+)
+
+// Exploring the tagged execution tree of a two-location consensus system
+// under a fixed Ω sequence, and verifying a hook (Theorem 59).
+func ExampleExplorer() {
+	e, err := valence.New(valence.Config{
+		N:      2,
+		Family: afd.FamilyOmega,
+		TD:     valence.OmegaTD(2, 3, nil),
+	})
+	if err != nil {
+		fmt.Println("new:", err)
+		return
+	}
+	if err := e.Explore(); err != nil {
+		fmt.Println("explore:", err)
+		return
+	}
+	fmt.Println("root:", e.Valence(e.Root()))
+	hooks := e.FindHooks(1)
+	fmt.Println("hook found:", len(hooks) == 1, "verified:", e.VerifyHook(hooks[0]) == nil)
+	// Output:
+	// root: bivalent
+	// hook found: true verified: true
+}

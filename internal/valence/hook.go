@@ -1,0 +1,220 @@
+package valence
+
+import (
+	"fmt"
+
+	"strings"
+
+	"repro/internal/ioa"
+	"repro/internal/trace"
+)
+
+// Hook is the Section-9.6.1 structure: a bivalent node N with labels l and r
+// such that N's l-child is v-valent and the l-child of N's r-child is
+// (1−v)-valent.  The actions of the two edges occur at a single location —
+// the hook's critical location — which Theorem 59 proves live in tD.
+type Hook struct {
+	Node     NodeID
+	L, R     Label
+	LAct     ioa.Action // action tag of N's l-edge
+	RAct     ioa.Action // action tag of N's r-edge
+	V        Valence    // valence of N's l-child
+	Critical ioa.Loc    // location of both action tags (Lemma 57)
+}
+
+// String implements fmt.Stringer.
+func (h Hook) String() string {
+	return fmt.Sprintf("hook(node=%d, l=%v via %v, r=%v via %v, v=%v, critical=%v)",
+		h.Node, h.L, h.LAct, h.R, h.RAct, h.V, h.Critical)
+}
+
+// childVia returns the target of node id's edge labeled l, if present.
+func (e *Explorer) childVia(id NodeID, l Label) (NodeID, ioa.Action, bool) {
+	for _, ed := range e.nodes[id].edges {
+		if ed.label == l {
+			return ed.to, ed.act, true
+		}
+	}
+	return 0, ioa.Action{}, false
+}
+
+// FindHooks scans the explored graph for hooks, up to the given count
+// (0 = all).  Per Lemma 55 at least one exists whenever the root is
+// bivalent and tD crashes at most f locations.
+func (e *Explorer) FindHooks(limit int) []Hook {
+	var out []Hook
+	for id := range e.nodes {
+		n := NodeID(id)
+		if e.Valence(n) != ValBivalent {
+			continue
+		}
+		for _, le := range e.nodes[n].edges {
+			lv := e.Valence(le.to)
+			if lv != ValZero && lv != ValOne {
+				continue
+			}
+			for _, re := range e.nodes[n].edges {
+				if re.label == le.label {
+					continue
+				}
+				// Lemma 56 requires N's own l- and r-edges to be non-⊥,
+				// but the l-edge *of N's r-child* may be ⊥ (e.g. a
+				// propose task disabled by the r-edge's propose): a ⊥
+				// edge is a self-loop, so the grandchild is the r-child
+				// itself.
+				rl, _, ok := e.childVia(re.to, le.label)
+				if !ok {
+					rl = re.to
+				}
+				rlv := e.Valence(rl)
+				if (lv == ValZero && rlv == ValOne) || (lv == ValOne && rlv == ValZero) {
+					h := Hook{
+						Node: n, L: le.label, R: re.label,
+						LAct: le.act, RAct: re.act,
+						V: lv, Critical: le.act.Loc,
+					}
+					out = append(out, h)
+					if limit > 0 && len(out) >= limit {
+						return out
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// VerifyHook checks the Theorem-59 properties of a hook against the tD the
+// explorer was built with:
+//
+//	(1) the action tags of the l- and r-edges are not ⊥ (Lemma 56);
+//	(2) both action tags occur at the same location (Lemma 57);
+//	(3) that critical location is live in tD (Lemma 58).
+func (e *Explorer) VerifyHook(h Hook) error {
+	if h.LAct.IsZero() || h.RAct.IsZero() {
+		return fmt.Errorf("valence: hook has ⊥ action tag (violates Lemma 56): %v", h)
+	}
+	if h.LAct.Loc != h.RAct.Loc {
+		return fmt.Errorf("valence: hook edges occur at %v and %v (violates Lemma 57): %v",
+			h.LAct.Loc, h.RAct.Loc, h)
+	}
+	faulty := trace.Faulty(e.cfg.TD)
+	if faulty[h.LAct.Loc] {
+		return fmt.Errorf("valence: critical location %v is faulty in tD (violates Lemma 58): %v",
+			h.LAct.Loc, h)
+	}
+	return nil
+}
+
+// CheckLemma52 verifies valence monotonicity on every edge of the explored
+// graph: a v-valent node has only v-valent descendants (children's masks are
+// subsets of their parents').
+func (e *Explorer) CheckLemma52() error {
+	for id, n := range e.nodes {
+		for _, ed := range n.edges {
+			child := e.nodes[ed.to].mask
+			// The parent's reachable set includes the edge's own decide
+			// contribution plus the child's set.
+			var bit uint8
+			if b, ok := decideBit(ed.act); ok {
+				bit = b
+			}
+			if n.mask|child|bit != n.mask {
+				return fmt.Errorf("valence: node %d mask %b missing child %d mask %b (Lemma 52)",
+					id, n.mask, ed.to, child)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckProposition50 verifies that no bivalent node is entered via a decide
+// edge: once a decision value appears in exe(N), N cannot be bivalent.
+func (e *Explorer) CheckProposition50() error {
+	for id, n := range e.nodes {
+		for _, ed := range n.edges {
+			if _, ok := decideBit(ed.act); !ok {
+				continue
+			}
+			if e.Valence(ed.to) == ValBivalent {
+				return fmt.Errorf("valence: bivalent node %d reached via decide edge from %d (Proposition 50)",
+					ed.to, id)
+			}
+		}
+	}
+	return nil
+}
+
+// HookStats summarizes a hook collection: how many hooks pivot on each kind
+// of edge (the FD edge vs process / channel / environment tasks) and the
+// distribution of critical locations.  The paper's Theorem 59 says critical
+// locations are live; the stats show *which* live events are decisive —
+// e.g. the FD-versus-delivery races of the crash-information argument.
+type HookStats struct {
+	ByLabelKind map[string]int // "fd", "proc", "chan", "env"
+	ByCritical  map[ioa.Loc]int
+	FDInvolved  int // hooks whose l- or r-edge is the FD edge
+}
+
+// HookStats computes statistics over the given hooks.
+func (e *Explorer) HookStats(hooks []Hook) HookStats {
+	st := HookStats{
+		ByLabelKind: make(map[string]int),
+		ByCritical:  make(map[ioa.Loc]int),
+	}
+	kind := func(l Label) string {
+		if l == LabelFD {
+			return "fd"
+		}
+		name := e.labels[l]
+		switch {
+		case strings.HasPrefix(name, "chan"):
+			return "chan"
+		case strings.HasPrefix(name, "env"):
+			return "env"
+		default:
+			return "proc"
+		}
+	}
+	for _, h := range hooks {
+		st.ByLabelKind[kind(h.L)]++
+		st.ByLabelKind[kind(h.R)]++
+		st.ByCritical[h.Critical]++
+		if h.L == LabelFD || h.R == LabelFD {
+			st.FDInvolved++
+		}
+	}
+	return st
+}
+
+// BivalencePath returns a longest-effort chain of bivalent nodes from the
+// root following edges to bivalent children (the adversary of the FLP
+// argument).  It stops when no bivalent child exists (decision forced) or
+// when it revisits a node (a bivalent cycle, meaning the adversary can delay
+// decisions forever on an unfair schedule).  It reports the path length and
+// whether a cycle was found.
+func (e *Explorer) BivalencePath() (length int, cyclic bool) {
+	seen := make(map[NodeID]bool)
+	cur := e.Root()
+	for {
+		if e.Valence(cur) != ValBivalent {
+			return length, false
+		}
+		if seen[cur] {
+			return length, true
+		}
+		seen[cur] = true
+		next := NodeID(-1)
+		for _, ed := range e.nodes[cur].edges {
+			if e.Valence(ed.to) == ValBivalent {
+				next = ed.to
+				break
+			}
+		}
+		if next < 0 {
+			return length, false
+		}
+		length++
+		cur = next
+	}
+}

@@ -1,0 +1,111 @@
+package valence
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// ExePath reconstructs one finite execution realizing node id: the action
+// sequence along a breadth-first walk from the root (an exe(N) in the sense
+// of Proposition 29, modulo the quotient's choice among the walks that Lemma
+// 33 proves interchangeable).  Call after Explore.
+func (e *Explorer) ExePath(id NodeID) []ioa.Action {
+	type via struct {
+		from NodeID
+		act  ioa.Action
+	}
+	parent := map[NodeID]via{e.Root(): {from: -1}}
+	queue := []NodeID{e.Root()}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == id {
+			break
+		}
+		for _, ed := range e.nodes[cur].edges {
+			if _, seen := parent[ed.to]; !seen {
+				parent[ed.to] = via{from: cur, act: ed.act}
+				queue = append(queue, ed.to)
+			}
+		}
+	}
+	if _, ok := parent[id]; !ok {
+		return nil
+	}
+	var rev []ioa.Action
+	for cur := id; cur != e.Root(); cur = parent[cur].from {
+		rev = append(rev, parent[cur].act)
+	}
+	out := make([]ioa.Action, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// EqualToDepth verifies Theorem 41 executably: the explored graphs of two
+// configurations (same system, different tD) agree on every walk of at most
+// depth edges from the root — same edge labels, same action tags, same
+// successor state encodings.  Both explorers must be Explored.  maxPairs
+// caps the lockstep traversal (0 = 1e6).
+func EqualToDepth(e1, e2 *Explorer, depth int, maxPairs int) error {
+	if maxPairs <= 0 {
+		maxPairs = 1_000_000
+	}
+	if len(e1.tasks) != len(e2.tasks) {
+		return fmt.Errorf("valence: systems have different task lists (%d vs %d)", len(e1.tasks), len(e2.tasks))
+	}
+	type pair struct {
+		a, b NodeID
+		d    int
+	}
+	seen := make(map[[2]NodeID]bool)
+	queue := []pair{{e1.Root(), e2.Root(), 0}}
+	for len(queue) > 0 {
+		if len(seen) > maxPairs {
+			return fmt.Errorf("valence: pair cap %d exceeded", maxPairs)
+		}
+		p := queue[0]
+		queue = queue[1:]
+		if seen[[2]NodeID{p.a, p.b}] {
+			continue
+		}
+		seen[[2]NodeID{p.a, p.b}] = true
+
+		na, nb := e1.nodes[p.a], e2.nodes[p.b]
+		if na.key.enc != nb.key.enc {
+			return fmt.Errorf("valence: states diverge at depth %d:\n  %q\n  %q", p.d, na.key.enc, nb.key.enc)
+		}
+		if p.d >= depth {
+			continue
+		}
+		// Compare outgoing edges label by label.
+		ea := edgesByLabel(na)
+		eb := edgesByLabel(nb)
+		for l, ra := range ea {
+			rb, ok := eb[l]
+			if !ok {
+				return fmt.Errorf("valence: depth %d: label %v enabled only in the first tree (action %v)", p.d, l, ra.act)
+			}
+			if ra.act != rb.act {
+				return fmt.Errorf("valence: depth %d: label %v has actions %v vs %v", p.d, l, ra.act, rb.act)
+			}
+			queue = append(queue, pair{ra.to, rb.to, p.d + 1})
+		}
+		for l, rb := range eb {
+			if _, ok := ea[l]; !ok {
+				return fmt.Errorf("valence: depth %d: label %v enabled only in the second tree (action %v)", p.d, l, rb.act)
+			}
+		}
+	}
+	return nil
+}
+
+func edgesByLabel(n *node) map[Label]edge {
+	out := make(map[Label]edge, len(n.edges))
+	for _, ed := range n.edges {
+		out[ed.label] = ed
+	}
+	return out
+}

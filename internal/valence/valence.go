@@ -1,0 +1,407 @@
+// Package valence implements Sections 8 and 9.4–9.6 of "Asynchronous
+// Failure Detectors": the tagged execution tree RtD of a system using an
+// AFD, the valence analysis of its nodes (bivalent / univalent,
+// Propositions 47–51, Lemma 52), and the hook construction (Lemmas 53–58,
+// Theorem 59, Figures 2–3) that pinpoints how AFD information circumvents
+// the impossibility of asynchronous consensus.
+//
+// The paper's RtD is an infinite tree over task labels; here it is explored
+// as a finite graph by memoizing nodes on (system state encoding,
+// FD-sequence index) — two tree nodes with equal config and FD tags have
+// identical subtrees (Lemma 33), so the quotient preserves exactly the
+// properties the paper proves.  Edges with ⊥ action tags are self-loops in
+// the quotient and are omitted; Lemma 56 shows hooks never involve them.
+//
+// The system composed into the tree is the paper's S (Section 9.3) *without*
+// the crash and failure-detector automata: both crash events and detector
+// outputs are injected by the FD edge from the fixed admissible sequence tD
+// over Iˆ ∪ OD, exactly as Section 8.2 tags the tree.
+package valence
+
+import (
+	"fmt"
+
+	"repro/internal/consensus"
+	"repro/internal/ioa"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// Label names one outgoing edge class of every tree node: the FD edge or one
+// task of the composition (Proc_i, Chan_{i,j}, Env_{i,x}).
+type Label int
+
+// LabelFD is the failure-detector edge; other labels index composition tasks.
+const LabelFD Label = -1
+
+// Valence classifies a node per Section 9.5.
+type Valence uint8
+
+// Valence values.  A node is v-valent when only decision value v is
+// reachable, bivalent when both are, and unknown when no decision is
+// reachable in the explored graph (which the paper's Proposition 48 rules
+// out for fair branches; it indicates the supplied tD was too weak).
+const (
+	ValUnknown Valence = iota
+	ValZero
+	ValOne
+	ValBivalent
+)
+
+// String implements fmt.Stringer.
+func (v Valence) String() string {
+	switch v {
+	case ValZero:
+		return "0-valent"
+	case ValOne:
+		return "1-valent"
+	case ValBivalent:
+		return "bivalent"
+	default:
+		return "unknown"
+	}
+}
+
+const (
+	maskZero = 1 << iota
+	maskOne
+)
+
+func maskToValence(m uint8) Valence {
+	switch m {
+	case maskZero:
+		return ValZero
+	case maskOne:
+		return ValOne
+	case maskZero | maskOne:
+		return ValBivalent
+	default:
+		return ValUnknown
+	}
+}
+
+// NodeID indexes a node of the explored graph.
+type NodeID int
+
+type edge struct {
+	label Label
+	act   ioa.Action
+	to    NodeID
+}
+
+type node struct {
+	key   nodeKey
+	sys   *ioa.System // retained until expanded, then released
+	fdIdx int
+	edges []edge
+	mask  uint8
+	preds []NodeID
+}
+
+type nodeKey struct {
+	enc string
+	fd  int
+}
+
+// Config configures an exploration.
+type Config struct {
+	// N is the number of locations.
+	N int
+	// Family is the failure-detector family whose outputs appear in TD.
+	Family string
+	// Algo selects the consensus algorithm hosted in the tree: "ct" (the
+	// rotating-coordinator algorithm; default) or "s" (the CT96 S-based
+	// flooding algorithm, which has no round churn and therefore a much
+	// smaller reachable graph — preferable for n ≥ 3).
+	Algo string
+	// TD is the fixed admissible FD sequence over Iˆ ∪ OD driving the FD
+	// edges.  Its crash events are the run's fault pattern.
+	TD trace.T
+	// Values fixes environment proposals per location; -1 leaves that
+	// location's environment free (both propose tasks enabled, Algorithm
+	// 4).  nil frees every location.  Root bivalence needs at least one
+	// free location whose proposal can swing the decision.
+	Values []int
+	// MaxNodes caps the exploration (default 200_000).  Exceeding the cap
+	// fails Explore: valence computation needs the full reachable graph.
+	MaxNodes int
+}
+
+func (c Config) maxNodes() int {
+	if c.MaxNodes <= 0 {
+		return 200_000
+	}
+	return c.MaxNodes
+}
+
+// Explorer holds the explored quotient of RtD.
+type Explorer struct {
+	cfg    Config
+	nodes  []*node
+	index  map[nodeKey]NodeID
+	labels []string // label names for reporting; index by task order
+	tasks  []ioa.TaskRef
+}
+
+// New builds the root system (consensus algorithm + channels + environment,
+// per Section 9.3) and prepares an explorer.
+func New(cfg Config) (*Explorer, error) {
+	var procs []ioa.Automaton
+	var err error
+	switch cfg.Algo {
+	case "", "ct":
+		procs, err = consensus.Procs(cfg.N, cfg.Family)
+	case "s":
+		procs, err = consensus.SProcs(cfg.N, cfg.Family)
+	default:
+		return nil, fmt.Errorf("valence: unknown algorithm %q", cfg.Algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	autos := procs
+	autos = append(autos, system.Channels(cfg.N)...)
+	for i := 0; i < cfg.N; i++ {
+		if cfg.Values == nil || cfg.Values[i] < 0 {
+			autos = append(autos, system.NewConsensusEnv(ioa.Loc(i)))
+		} else {
+			autos = append(autos, system.NewConsensusEnvFixed(ioa.Loc(i), cfg.Values[i]))
+		}
+	}
+	sys, err := ioa.NewSystem(autos...)
+	if err != nil {
+		return nil, err
+	}
+	e := &Explorer{
+		cfg:   cfg,
+		index: make(map[nodeKey]NodeID),
+	}
+	for _, tr := range sys.Tasks() {
+		e.tasks = append(e.tasks, tr)
+		e.labels = append(e.labels, sys.TaskLabel(tr))
+	}
+	root := &node{key: nodeKey{enc: sys.Encode(), fd: 0}, sys: sys.CloneBare()}
+	e.nodes = append(e.nodes, root)
+	e.index[root.key] = 0
+	return e, nil
+}
+
+// LabelName renders a label.
+func (e *Explorer) LabelName(l Label) string {
+	if l == LabelFD {
+		return "FD"
+	}
+	return e.labels[l]
+}
+
+// NumNodes returns the number of distinct explored nodes.
+func (e *Explorer) NumNodes() int { return len(e.nodes) }
+
+// Root returns the root node's ID.
+func (e *Explorer) Root() NodeID { return 0 }
+
+// Valence returns the valence of a node (after Explore).
+func (e *Explorer) Valence(id NodeID) Valence { return maskToValence(e.nodes[id].mask) }
+
+// Explore expands the full reachable graph and computes valences.
+func (e *Explorer) Explore() error {
+	// Phase 1: breadth-first expansion with memoization.
+	for next := 0; next < len(e.nodes); next++ {
+		if len(e.nodes) > e.cfg.maxNodes() {
+			return fmt.Errorf("valence: state space exceeds cap %d", e.cfg.maxNodes())
+		}
+		if err := e.expand(NodeID(next)); err != nil {
+			return err
+		}
+	}
+	// Phase 2: backward fixpoint of reachable decision values.
+	e.propagate()
+	return nil
+}
+
+// expand computes all non-⊥ outgoing edges of node id.
+func (e *Explorer) expand(id NodeID) error {
+	n := e.nodes[id]
+	sys := n.sys
+	if sys == nil {
+		return fmt.Errorf("valence: node %d already expanded", id)
+	}
+	// FD edge: the head of the remaining tD, if any (Section 8.2).
+	if n.fdIdx < len(e.cfg.TD) {
+		act := e.cfg.TD[n.fdIdx]
+		child := sys.CloneBare()
+		child.Apply(-1, act)
+		e.link(id, LabelFD, act, child, n.fdIdx+1)
+	}
+	// Task edges.
+	for li, tr := range e.tasks {
+		act, ok := sys.Enabled(tr)
+		if !ok {
+			continue // ⊥ edge: self-loop in the quotient, omitted
+		}
+		child := sys.CloneBare()
+		child.Apply(tr.Auto, act)
+		e.link(id, Label(li), act, child, n.fdIdx)
+	}
+	n.sys = nil // release the snapshot; edges carry everything we need
+	return nil
+}
+
+// link records an edge from id to the node for (child state, fd'), creating
+// the child if new.
+func (e *Explorer) link(id NodeID, l Label, act ioa.Action, child *ioa.System, fd int) {
+	k := nodeKey{enc: child.Encode(), fd: fd}
+	to, ok := e.index[k]
+	if !ok {
+		to = NodeID(len(e.nodes))
+		e.nodes = append(e.nodes, &node{key: k, sys: child, fdIdx: fd})
+		e.index[k] = to
+	}
+	e.nodes[id].edges = append(e.nodes[id].edges, edge{label: l, act: act, to: to})
+	e.nodes[to].preds = append(e.nodes[to].preds, id)
+}
+
+// propagate computes each node's valence mask.  A node's valence is defined
+// over the decision values occurring in exe(N) *or any descendant's
+// execution* (Section 9.5), so the mask is the union of
+//
+//	past(N)   – decision events on walks from the root to N (all walks
+//	            agree: whether location i's decide has fired is a function
+//	            of the memoized state, and agreement fixes the value), and
+//	future(N) – decision events reachable from N,
+//
+// each computed by a worklist fixpoint (forward and backward respectively).
+func (e *Explorer) propagate() {
+	e.propagateFuture()
+	e.propagatePast()
+}
+
+// propagateFuture computes future-reachable decisions by backward fixpoint:
+// R(N) = ⋃ over edges N→M of decideBit(edge) ∪ R(M).
+func (e *Explorer) propagateFuture() {
+	work := make([]NodeID, 0, len(e.nodes))
+	inWork := make([]bool, len(e.nodes))
+	// Seed: nodes with outgoing decide edges.
+	for i, n := range e.nodes {
+		var m uint8
+		for _, ed := range n.edges {
+			if b, ok := decideBit(ed.act); ok {
+				m |= b
+			}
+		}
+		if m != 0 {
+			n.mask = m
+			work = append(work, NodeID(i))
+			inWork[i] = true
+		}
+	}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[id] = false
+		m := e.nodes[id].mask
+		for _, p := range e.nodes[id].preds {
+			pn := e.nodes[p]
+			if pn.mask|m != pn.mask {
+				pn.mask |= m
+				if !inWork[p] {
+					work = append(work, p)
+					inWork[p] = true
+				}
+			}
+		}
+	}
+}
+
+// propagatePast folds decision events of incoming walks forward:
+// past(child) ⊇ past(parent) ∪ decideBit(edge).
+func (e *Explorer) propagatePast() {
+	past := make([]uint8, len(e.nodes))
+	// Every node must be processed at least once: an edge's decide bit
+	// contributes to the child even when the parent's own past is empty.
+	work := make([]NodeID, len(e.nodes))
+	inWork := make([]bool, len(e.nodes))
+	for i := range e.nodes {
+		work[i] = NodeID(i)
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[id] = false
+		for _, ed := range e.nodes[id].edges {
+			m := past[id]
+			if b, ok := decideBit(ed.act); ok {
+				m |= b
+			}
+			if past[ed.to]|m != past[ed.to] {
+				past[ed.to] |= m
+				if !inWork[ed.to] {
+					work = append(work, ed.to)
+					inWork[ed.to] = true
+				}
+			}
+		}
+	}
+	for i, n := range e.nodes {
+		n.mask |= past[i]
+	}
+}
+
+func decideBit(a ioa.Action) (uint8, bool) {
+	if a.Kind != ioa.KindEnvOut || a.Name != system.ActNameDecide {
+		return 0, false
+	}
+	switch a.Payload {
+	case "0":
+		return maskZero, true
+	case "1":
+		return maskOne, true
+	default:
+		return 0, false
+	}
+}
+
+// Stats summarizes an explored graph.
+type Stats struct {
+	Nodes     int
+	Edges     int
+	Bivalent  int
+	ZeroVal   int
+	OneVal    int
+	Unknown   int
+	FDEdges   int
+	MaxFDIdx  int
+	DecideCut int // edges carrying decide actions
+}
+
+// Stats computes summary statistics (after Explore).
+func (e *Explorer) Stats() Stats {
+	var s Stats
+	s.Nodes = len(e.nodes)
+	for _, n := range e.nodes {
+		s.Edges += len(n.edges)
+		if n.fdIdx > s.MaxFDIdx {
+			s.MaxFDIdx = n.fdIdx
+		}
+		switch maskToValence(n.mask) {
+		case ValBivalent:
+			s.Bivalent++
+		case ValZero:
+			s.ZeroVal++
+		case ValOne:
+			s.OneVal++
+		default:
+			s.Unknown++
+		}
+		for _, ed := range n.edges {
+			if ed.label == LabelFD {
+				s.FDEdges++
+			}
+			if _, ok := decideBit(ed.act); ok {
+				s.DecideCut++
+			}
+		}
+	}
+	return s
+}
