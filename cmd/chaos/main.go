@@ -1,0 +1,248 @@
+// Command chaos drives the fault-injection harness of internal/chaos:
+// randomized fault plans and adversarial schedules swept against the
+// repository's specification checkers, with failing runs shrunk to minimal
+// reproducers and written as replayable JSON artifacts.
+//
+// Subcommands:
+//
+//	chaos sweep  [-n 3] [-t -1] [-seeds 8] [-steps 0] [-targets LIST]
+//	             [-scheds rr,random,lifo] [-workers 0] [-out DIR]
+//	    Sweep targets × schedulers × seeds × fault plans; shrink and
+//	    report every violation, writing one artifact per failure to -out.
+//
+//	chaos run    -target detector:FD-Ω [-n 3] [-crash 0,2] [-sched random]
+//	             [-seed 1] [-steps 0] [-crash-after 0] [-crash-gap 0]
+//	             [-delay-nth 0] [-delay-for 0] [-out artifact.json]
+//	    Execute one fully specified run and print the verdict.
+//
+//	chaos replay ARTIFACT.json
+//	    Re-execute a recorded run and confirm it reproduces the recorded
+//	    verdict and trace exactly.
+//
+// Examples:
+//
+//	chaos sweep
+//	chaos sweep -targets detector:slanderer -out /tmp/artifacts
+//	chaos run -target consensus:FD-Ω -n 5 -crash 1,3 -sched lifo -seed 7
+//	chaos replay /tmp/artifacts/fail-0.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/ioa"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: chaos sweep|run|replay [flags]")
+	}
+	switch args[0] {
+	case "sweep":
+		return runSweep(args[1:])
+	case "run":
+		return runOne(args[1:])
+	case "replay":
+		return runReplay(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want sweep, run, or replay)", args[0])
+	}
+}
+
+func parseTargets(s string) ([]chaos.Target, error) {
+	if s == "" {
+		return chaos.DefaultTargets(), nil
+	}
+	var out []chaos.Target
+	for _, id := range strings.Split(s, ",") {
+		t, err := chaos.ParseTarget(strings.TrimSpace(id))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func parseLocs(s string) ([]ioa.Loc, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []ioa.Loc
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad location %q: %v", part, err)
+		}
+		out = append(out, ioa.Loc(v))
+	}
+	return out, nil
+}
+
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 3, "number of locations")
+		maxT    = fs.Int("t", -1, "max crashes per plan (-1 = each target's tolerance)")
+		seeds   = fs.Int("seeds", 8, "seeds per (target, scheduler, plan)")
+		steps   = fs.Int("steps", 0, "step bound per run (0 = default)")
+		targets = fs.String("targets", "", "comma-separated target IDs (default Ω, ◇P, consensus:Ω)")
+		scheds  = fs.String("scheds", "", "comma-separated schedulers: rr,random,lifo (default all)")
+		workers = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		outDir  = fs.String("out", "", "write one artifact per failure to this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ts, err := parseTargets(*targets)
+	if err != nil {
+		return err
+	}
+	var schedList []string
+	if *scheds != "" {
+		schedList = strings.Split(*scheds, ",")
+	}
+	rep := chaos.Sweep(chaos.SweepConfig{
+		Targets: ts,
+		N:       *n,
+		MaxT:    *maxT,
+		Seeds:   *seeds,
+		Steps:   *steps,
+		Scheds:  schedList,
+		Workers: *workers,
+		Shrink:  true,
+	})
+	fmt.Println(rep.Summary())
+	for _, e := range rep.Errors {
+		fmt.Println("  error:", e)
+	}
+	for i, f := range rep.Failures {
+		fmt.Printf("  FAIL %s sched=%s seed=%d steps=%d plan=%v\n       %v\n",
+			f.Run.Target.ID(), f.Run.Sched, f.Run.Seed, f.Steps, f.Run.Plan, f.Err)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, fmt.Sprintf("fail-%d.json", i))
+			if err := writeArtifact(path, f.Artifact()); err != nil {
+				return err
+			}
+			fmt.Println("       artifact:", path)
+		}
+	}
+	if len(rep.Failures) > 0 || len(rep.Errors) > 0 {
+		return fmt.Errorf("%d violations", len(rep.Failures)+len(rep.Errors))
+	}
+	return nil
+}
+
+func runOne(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	var (
+		target     = fs.String("target", "detector:FD-Ω", "target ID, e.g. detector:FD-P or consensus:FD-Ω")
+		n          = fs.Int("n", 3, "number of locations")
+		crash      = fs.String("crash", "", "comma-separated fault plan, in crash order")
+		schedKind  = fs.String("sched", "rr", "scheduler: rr, random, or lifo")
+		seed       = fs.Int64("seed", 0, "scheduler seed (random/lifo)")
+		steps      = fs.Int("steps", 0, "step bound (0 = default)")
+		crashAfter = fs.Int("crash-after", 0, "gate: block crashes until this step")
+		crashGap   = fs.Int("crash-gap", 0, "gate: steps between crash releases")
+		delayNth   = fs.Int("delay-nth", 0, "gate: delay every nth delivery")
+		delayFor   = fs.Int("delay-for", 0, "gate: delivery delay in steps")
+		outFile    = fs.String("out", "", "write the run as an artifact to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := chaos.ParseTarget(*target)
+	if err != nil {
+		return err
+	}
+	locs, err := parseLocs(*crash)
+	if err != nil {
+		return err
+	}
+	gates := chaos.NoGates()
+	gates.CrashAfter, gates.CrashGap = *crashAfter, *crashGap
+	gates.DelayNth, gates.DelayFor = *delayNth, *delayFor
+	v, err := chaos.Execute(chaos.Run{
+		Target: t,
+		N:      *n,
+		Plan:   system.CrashOf(locs...),
+		Gates:  gates,
+		Sched:  *schedKind,
+		Seed:   *seed,
+		Steps:  *steps,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d steps (%s), %d trace events\n", t.ID(), v.Steps, v.Reason, len(v.Trace))
+	if *outFile != "" {
+		if err := writeArtifact(*outFile, v.Artifact()); err != nil {
+			return err
+		}
+		fmt.Println("artifact:", *outFile)
+	}
+	if v.Failed() {
+		return fmt.Errorf("specification violated: %w", v.Err)
+	}
+	fmt.Println("specification satisfied")
+	return nil
+}
+
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: chaos replay ARTIFACT.json")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	a, err := trace.ReadArtifact(f)
+	if err != nil {
+		return err
+	}
+	v, err := chaos.Replay(a)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: replayed %d steps deterministically\n", a.Target, v.Steps)
+	if v.Failed() {
+		fmt.Println("reproduced violation:", v.Err)
+	} else {
+		fmt.Println("run satisfies the specification (as recorded)")
+	}
+	return nil
+}
+
+func writeArtifact(path string, a *trace.Artifact) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteArtifact(f, a)
+}

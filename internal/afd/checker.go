@@ -1,0 +1,14 @@
+package afd
+
+import "repro/internal/trace"
+
+// Checker adapts a detector specification to the uniform run-verdict
+// signature func(trace.T) error that the chaos harness and other sweep
+// drivers consume: given a *full* system trace, project it onto Iˆ ∪ OD and
+// decide prefix-membership in TD under the given window.  A nil error means
+// the run is consistent with the specification.
+func Checker(d Detector, n int, w Window) func(trace.T) error {
+	return func(t trace.T) error {
+		return d.Check(trace.FD(t, d.Family()), n, w)
+	}
+}

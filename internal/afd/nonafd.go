@@ -68,3 +68,36 @@ func MaraboutHonest(n int) ioa.Automaton {
 		return ioa.EncodeLocSet(st.CrashSet())
 	})
 }
+
+// Slanderer is a deliberately broken perfect detector: its automaton
+// outputs crashset ∪ {Scapegoat}, accusing the scapegoat location before
+// (and regardless of whether) it crashes.  While the scapegoat is live this
+// violates P's perpetual strong accuracy — a safety clause, refutable on
+// any finite prefix — so a sound checker must flag every run in which an
+// output fires before the scapegoat's crash.  It exists as the chaos
+// harness's positive control: a sweep that does not flag the Slanderer is
+// not checking anything.
+type Slanderer struct {
+	// Scapegoat is the wrongly suspected location (default 0).
+	Scapegoat ioa.Loc
+}
+
+var _ Detector = Slanderer{}
+
+// Family implements Detector: the Slanderer masquerades as P.
+func (Slanderer) Family() string { return FamilyP }
+
+// Automaton implements Detector: output crashset ∪ {Scapegoat}.
+func (d Slanderer) Automaton(n int) ioa.Automaton {
+	return NewGenerator(FamilyP, n, func(st *GenState, _ ioa.Loc) string {
+		set := st.CrashSet()
+		set[d.Scapegoat] = true
+		return ioa.EncodeLocSet(set)
+	})
+}
+
+// Check implements Detector by deferring to the honest P specification —
+// the broken part is the automaton, not the checker.
+func (d Slanderer) Check(t trace.T, n int, w Window) error {
+	return Perfect{}.Check(t, n, w)
+}

@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// Artifact converts a verdict into its replayable wire form.  The artifact
+// records the run inputs (target, n, steps, scheduler, seed, plan, gate
+// parameters), the observed veto log and trace, and the verdict string;
+// only the inputs drive a replay.
+func (v Verdict) Artifact() *trace.Artifact {
+	s := v.Run.Sched
+	if s == "" {
+		s = SchedRoundRobin
+	}
+	verdict := ""
+	if v.Err != nil {
+		verdict = v.Err.Error()
+	}
+	return &trace.Artifact{
+		Target:  v.Run.Target.ID(),
+		N:       v.Run.N,
+		Steps:   v.Run.steps(),
+		Sched:   s,
+		Seed:    v.Run.Seed,
+		Crash:   v.Run.Plan.Crash,
+		Gate:    v.Run.Gates.Params(),
+		GateLog: v.GateLog,
+		Verdict: verdict,
+		Trace:   v.Trace,
+	}
+}
+
+// RunFromArtifact reconstructs the run an artifact records.
+func RunFromArtifact(a *trace.Artifact) (Run, error) {
+	target, err := ParseTarget(a.Target)
+	if err != nil {
+		return Run{}, err
+	}
+	return Run{
+		Target: target,
+		N:      a.N,
+		Plan:   system.CrashOf(a.Crash...),
+		Gates:  GatesFromParams(a.Gate),
+		Sched:  a.Sched,
+		Seed:   a.Seed,
+		Steps:  a.Steps,
+	}, nil
+}
+
+// Replay re-executes the run an artifact records and reports whether the
+// fresh verdict matches the recorded one.  A nil error with Verdict.Failed()
+// false means the artifact no longer reproduces (e.g. the bug was fixed);
+// a non-nil error means the replay itself diverged from the record, which
+// indicates broken determinism.
+func Replay(a *trace.Artifact) (Verdict, error) {
+	r, err := RunFromArtifact(a)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v, err := Execute(r)
+	if err != nil {
+		return Verdict{}, err
+	}
+	recordedFail := a.Verdict != ""
+	if v.Failed() != recordedFail {
+		return v, fmt.Errorf("chaos: replay verdict %v does not match recorded %q", v.Err, a.Verdict)
+	}
+	if len(a.Trace) > 0 && !trace.Equal(v.Trace, a.Trace) {
+		return v, fmt.Errorf("chaos: replay trace diverges from recorded trace (%d vs %d events)",
+			len(v.Trace), len(a.Trace))
+	}
+	return v, nil
+}

@@ -1,0 +1,167 @@
+// Package chaos is the fault-injection and adversarial-execution harness:
+// it turns the scheduler's timing freedom (§2.4 fairness) and the crash
+// automaton's total freedom over Iˆ (§4.4) into a systematic adversary.
+//
+// The pipeline is
+//
+//	generator → gates → runner → shrinker → artifact
+//
+// A fault-plan generator enumerates or samples crash patterns up to a
+// target's tolerance (system.PlanSubsets, SamplePlan).  Adversarial gates
+// (GateSpec) perturb timing — delayed crash release, per-message delivery
+// delay, starving one channel for a bounded prefix — without ever
+// suppressing a non-crash action forever, so every gated run is still a
+// prefix of a fair execution; crash actions may be delayed arbitrarily per
+// §4.4.  The runner sweeps (target, scheduler, seed, fault plan, gates)
+// tuples in parallel and funnels every trace through the repository's
+// uniform specification checkers (afd.Checker, consensus.Spec.Checker,
+// problems adapters).  A failing run is shrunk to a minimal reproducer —
+// fewer crashes, zeroed gates, the simplest scheduler, the shortest step
+// bound that still fails — and emitted as a replayable trace.Artifact.
+//
+// Replay determinism: every source of nondeterminism in a run is a named
+// field of Run — the scheduler kind, its integer seed (driving either the
+// Go-1-stable math/rand stream of sched.Random or the sched.NewPRNG
+// SplitMix64 stream), the fault plan, and the gate parameters.  Gates are
+// pure functions of (step, observed actions) and are freshly constructed
+// per run, so Execute(run) is a pure function: same Run, same trace, same
+// verdict.  The only deliberately unfair scheduler (SchedLIFO) is paired
+// with safety-only checking, mirroring the paper's split between clauses
+// refutable on arbitrary prefixes and liveness clauses that need fairness.
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/sched"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// Scheduler kinds a Run may name.
+const (
+	// SchedRoundRobin is the fair deterministic round-robin schedule.
+	SchedRoundRobin = "rr"
+	// SchedRandom is the seeded uniform-random schedule (fair w.p. 1).
+	SchedRandom = "random"
+	// SchedLIFO is the adversarial deliver-last-sent-first schedule: among
+	// enabled actions it prioritizes the delivery of the most recently sent
+	// message (via send stamps when the target provides them), breaking
+	// ties with the deterministic PRNG.  It is not fair, so runs under it
+	// are checked against safety clauses only.
+	SchedLIFO = "lifo"
+)
+
+// Schedulers lists every scheduler kind in sweep order.
+func Schedulers() []string { return []string{SchedRoundRobin, SchedRandom, SchedLIFO} }
+
+// Fair reports whether the named scheduler produces prefixes of fair
+// executions, i.e. whether liveness clauses may be enforced on its runs.
+func Fair(schedKind string) bool { return schedKind != SchedLIFO }
+
+// Built is a target system ready to run.
+type Built struct {
+	// Sys is the freshly composed system.
+	Sys *ioa.System
+	// Stop, when non-nil, ends the run early (e.g. consensus: everyone
+	// live has decided).
+	Stop func(sys *ioa.System, last ioa.Action) bool
+	// Prio, when non-nil, ranks actions for SchedLIFO (newest-send-first).
+	Prio sched.Priority
+}
+
+// Target is a system-under-test the chaos runner knows how to build and
+// judge.  Implementations must be stateless values: Build is called once
+// per run, concurrently from runner goroutines.
+type Target interface {
+	// ID is the stable identifier recorded in artifacts, e.g.
+	// "detector:FD-Ω" or "consensus:FD-◇P".
+	ID() string
+	// MaxT is the largest crash count the specification tolerates for n
+	// locations (the plan generator never exceeds it).
+	MaxT(n int) int
+	// Build composes a fresh system realizing the fault plan.  lifo asks
+	// for send-stamp tracking so SchedLIFO can prioritize by recency.
+	Build(n int, plan system.FaultPlan, lifo bool) (*Built, error)
+	// Checker returns the uniform verdict function for a completed run;
+	// fair selects whether liveness clauses are enforced.
+	Checker(n int, plan system.FaultPlan, fair bool) func(trace.T) error
+}
+
+// Run is one fully determined chaos execution: every source of
+// nondeterminism is a field, so Execute is a pure function of Run.
+type Run struct {
+	Target Target
+	N      int
+	Plan   system.FaultPlan
+	Gates  GateSpec
+	Sched  string // SchedRoundRobin (default), SchedRandom, SchedLIFO
+	Seed   int64
+	Steps  int // 0 = DefaultSteps(N)
+}
+
+// DefaultSteps is the default step bound for n locations: generous enough
+// for every target to satisfy its liveness clauses under fair schedules.
+func DefaultSteps(n int) int { return 1200 * n }
+
+func (r Run) steps() int {
+	if r.Steps <= 0 {
+		return DefaultSteps(r.N)
+	}
+	return r.Steps
+}
+
+// Verdict is the outcome of one executed run.
+type Verdict struct {
+	Run     Run
+	Steps   int
+	Reason  sched.StopReason
+	Err     error // non-nil: the trace violates the target's specification
+	Trace   trace.T
+	GateLog []trace.GateVeto
+}
+
+// Failed reports whether the run violated its specification.
+func (v Verdict) Failed() bool { return v.Err != nil }
+
+// Execute performs one chaos run.  The returned error is an infrastructure
+// error (unknown scheduler, unbuildable target); specification violations
+// land in Verdict.Err.
+func Execute(r Run) (Verdict, error) {
+	lifo := r.Sched == SchedLIFO
+	b, err := r.Target.Build(r.N, r.Plan, lifo)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("chaos: building %s: %w", r.Target.ID(), err)
+	}
+	var log []trace.GateVeto
+	opts := sched.Options{
+		MaxSteps: r.steps(),
+		Stop:     b.Stop,
+		Gate:     r.Gates.Compile(&log),
+	}
+	var res sched.Result
+	switch r.Sched {
+	case "", SchedRoundRobin:
+		res = sched.RoundRobin(b.Sys, opts)
+	case SchedRandom:
+		res = sched.Random(b.Sys, r.Seed, opts)
+	case SchedLIFO:
+		prio := b.Prio
+		if prio == nil {
+			prio = func(ioa.TaskRef, ioa.Action) int { return 0 }
+		}
+		res = sched.RandomPriority(b.Sys, sched.NewPRNG(r.Seed), prio, opts)
+	default:
+		return Verdict{}, fmt.Errorf("chaos: unknown scheduler %q", r.Sched)
+	}
+	t := b.Sys.Trace()
+	return Verdict{
+		Run:     r,
+		Steps:   res.Steps,
+		Reason:  res.Reason,
+		Err:     r.Target.Checker(r.N, r.Plan, Fair(r.Sched))(t),
+		Trace:   t,
+		GateLog: log,
+	}, nil
+}

@@ -1,0 +1,284 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// TestExecuteDeterministic pins the replay-determinism contract: Execute is
+// a pure function of Run, even under the seeded random scheduler with every
+// gate family active.
+func TestExecuteDeterministic(t *testing.T) {
+	for _, kind := range Schedulers() {
+		r := Run{
+			Target: DetectorTarget{Family: "FD-Ω"},
+			N:      3,
+			Plan:   SamplePlan(sched.NewPRNG(5), 3, 2),
+			Gates: GateSpec{
+				CrashAfter: 40, CrashGap: 10,
+				DelayNth: 2, DelayFor: 7,
+				StarveFrom: 0, StarveTo: 1, StarveUntil: 25,
+			},
+			Sched: kind,
+			Seed:  11,
+			Steps: 400,
+		}
+		a, err := Execute(r)
+		if err != nil {
+			t.Fatalf("%s: Execute: %v", kind, err)
+		}
+		b, err := Execute(r)
+		if err != nil {
+			t.Fatalf("%s: re-Execute: %v", kind, err)
+		}
+		if !trace.Equal(a.Trace, b.Trace) {
+			t.Errorf("%s: traces differ across identical runs (%d vs %d events)",
+				kind, len(a.Trace), len(b.Trace))
+		}
+		if (a.Err == nil) != (b.Err == nil) {
+			t.Errorf("%s: verdicts differ: %v vs %v", kind, a.Err, b.Err)
+		}
+		if len(a.GateLog) != len(b.GateLog) {
+			t.Errorf("%s: gate logs differ: %d vs %d vetoes", kind, len(a.GateLog), len(b.GateLog))
+		}
+	}
+}
+
+// TestSamplePlanBounds checks sampled plans stay within the crash budget and
+// never repeat a location.
+func TestSamplePlanBounds(t *testing.T) {
+	rng := sched.NewPRNG(1)
+	const n, maxT = 5, 3
+	sawNonEmpty := false
+	for i := 0; i < 500; i++ {
+		p := SamplePlan(rng, n, maxT)
+		if len(p.Crash) > maxT {
+			t.Fatalf("plan %v exceeds maxT=%d", p, maxT)
+		}
+		seen := map[ioa.Loc]bool{}
+		for _, l := range p.Crash {
+			if l < 0 || int(l) >= n {
+				t.Fatalf("plan %v crashes out-of-range location %d", p, l)
+			}
+			if seen[l] {
+				t.Fatalf("plan %v crashes %d twice", p, l)
+			}
+			seen[l] = true
+		}
+		sawNonEmpty = sawNonEmpty || len(p.Crash) > 0
+	}
+	if !sawNonEmpty {
+		t.Error("500 samples and every plan was empty")
+	}
+	if got := SamplePlan(rng, 3, 0); len(got.Crash) != 0 {
+		t.Errorf("maxT=0 sampled %v, want no faults", got)
+	}
+}
+
+// TestSampleGatesBounds checks sampled gate magnitudes respect the
+// fairness-preserving budget documented on SampleGates.
+func TestSampleGatesBounds(t *testing.T) {
+	rng := sched.NewPRNG(2)
+	const n, steps = 4, 800
+	for i := 0; i < 500; i++ {
+		g := SampleGates(rng, n, steps)
+		if g.CrashAfter > steps/2 || g.CrashGap > steps/8 {
+			t.Fatalf("crash release out of bounds: %+v", g)
+		}
+		if g.DelayFor > steps/8 {
+			t.Fatalf("delivery delay out of bounds: %+v", g)
+		}
+		if g.StarveUntil > steps/4 {
+			t.Fatalf("starvation out of bounds: %+v", g)
+		}
+		if g.starves() && (g.StarveFrom == g.StarveTo || g.StarveFrom >= n || g.StarveTo >= n) {
+			t.Fatalf("malformed starvation channel: %+v", g)
+		}
+	}
+}
+
+// TestGateSpecParamsRoundTrip checks the artifact encoding of gate
+// parameters is lossless for effective specs and normalizing for disabled
+// ones.
+func TestGateSpecParamsRoundTrip(t *testing.T) {
+	specs := []GateSpec{
+		NoGates(),
+		{CrashAfter: 10, StarveFrom: -1, StarveTo: -1},
+		{CrashAfter: 10, CrashGap: 3, StarveFrom: -1, StarveTo: -1},
+		{DelayNth: 2, DelayFor: 5, StarveFrom: -1, StarveTo: -1},
+		{StarveFrom: 0, StarveTo: 2, StarveUntil: 40},
+		{CrashAfter: 1, CrashGap: 1, DelayNth: 1, DelayFor: 1,
+			StarveFrom: 1, StarveTo: 0, StarveUntil: 9},
+	}
+	for _, g := range specs {
+		if got := GatesFromParams(g.Params()); got != g {
+			t.Errorf("round trip %+v → %v → %+v", g, g.Params(), got)
+		}
+	}
+	// A half-specified delay is a no-op and must encode as absent.
+	half := NoGates()
+	half.DelayNth = 3
+	if p := half.Params(); p != nil {
+		t.Errorf("no-op delay encoded as %v, want nil", p)
+	}
+	if !half.IsZero() {
+		t.Error("half-specified delay should be zero-effect")
+	}
+}
+
+// TestCompiledDelayGate exercises the delivery-delay gate against synthetic
+// actions: the DelayNth-th distinct delivery is vetoed for exactly DelayFor
+// steps, and the veto log records each refusal.
+func TestCompiledDelayGate(t *testing.T) {
+	g := NoGates()
+	g.DelayNth, g.DelayFor = 2, 5
+	var log []trace.GateVeto
+	gate := g.Compile(&log)
+
+	recv := func(i int) ioa.Action {
+		return ioa.Action{Kind: ioa.KindReceive, Name: "receive", Loc: ioa.Loc(i), Peer: 0}
+	}
+	if !gate(10, ioa.TaskRef{}, recv(1)) {
+		t.Fatal("1st distinct delivery should pass (only every 2nd is delayed)")
+	}
+	if gate(10, ioa.TaskRef{}, recv(2)) {
+		t.Fatal("2nd distinct delivery should be delayed at its first step")
+	}
+	if gate(14, ioa.TaskRef{}, recv(2)) {
+		t.Fatal("delayed delivery released too early")
+	}
+	if !gate(15, ioa.TaskRef{}, recv(2)) {
+		t.Fatal("delayed delivery should release after DelayFor steps")
+	}
+	if !gate(10, ioa.TaskRef{}, ioa.Action{Kind: ioa.KindCrash}) {
+		t.Fatal("non-delivery actions must pass a delay-only spec")
+	}
+	if len(log) != 2 {
+		t.Fatalf("veto log recorded %d refusals, want 2", len(log))
+	}
+}
+
+// TestCompiledStarvationGate exercises the channel-starvation gate: only the
+// named channel is starved, and only until StarveUntil.
+func TestCompiledStarvationGate(t *testing.T) {
+	g := NoGates()
+	g.StarveFrom, g.StarveTo, g.StarveUntil = 0, 1, 50
+	gate := g.Compile(nil)
+
+	starved := ioa.Action{Kind: ioa.KindReceive, Name: "receive", Loc: 1, Peer: 0}
+	other := ioa.Action{Kind: ioa.KindReceive, Name: "receive", Loc: 0, Peer: 1}
+	if gate(49, ioa.TaskRef{}, starved) {
+		t.Fatal("starved channel delivered before StarveUntil")
+	}
+	if !gate(50, ioa.TaskRef{}, starved) {
+		t.Fatal("starved channel must resume at StarveUntil")
+	}
+	if !gate(0, ioa.TaskRef{}, other) {
+		t.Fatal("reverse channel must not be starved")
+	}
+}
+
+// TestParseTargetRoundTrip checks every sweepable target ID resolves back to
+// a target with the same ID.
+func TestParseTargetRoundTrip(t *testing.T) {
+	ids := []string{SlandererID}
+	for _, target := range DefaultTargets() {
+		ids = append(ids, target.ID())
+	}
+	for _, id := range ids {
+		target, err := ParseTarget(id)
+		if err != nil {
+			t.Errorf("ParseTarget(%q): %v", id, err)
+			continue
+		}
+		if target.ID() != id {
+			t.Errorf("ParseTarget(%q).ID() = %q", id, target.ID())
+		}
+	}
+	if _, err := ParseTarget("nonsense"); err == nil {
+		t.Error("ParseTarget accepted an unknown ID")
+	}
+}
+
+// TestSlandererFlaggedShrunkReplayed is the harness's positive control, end
+// to end: the deliberately broken detector is flagged, the failure shrinks
+// without swapping its clause, and the shrunk artifact replays byte-for-byte
+// deterministically to the same verdict.
+func TestSlandererFlaggedShrunkReplayed(t *testing.T) {
+	v, err := Execute(Run{Target: DetectorTarget{Family: "slanderer"}, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Failed() {
+		t.Fatal("broken detector passed its checker")
+	}
+	clause := errClause(v.Err)
+	if clause != "(strong accuracy)" {
+		t.Fatalf("slanderer failed clause %q, want strong accuracy", clause)
+	}
+
+	min, tries := Shrink(v)
+	if !min.Failed() || errClause(min.Err) != clause {
+		t.Fatalf("shrink swapped the failure: %v (after %d tries)", min.Err, tries)
+	}
+	if min.Run.steps() > v.Run.steps() {
+		t.Errorf("shrink grew the step bound: %d → %d", v.Run.steps(), min.Run.steps())
+	}
+
+	// Artifact round trip.
+	var buf bytes.Buffer
+	if err := trace.WriteArtifact(&buf, min.Artifact()); err != nil {
+		t.Fatal(err)
+	}
+	a, err := trace.ReadArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay must reproduce the recorded verdict and trace exactly.
+	w, err := Replay(a)
+	if err != nil {
+		t.Fatalf("replay diverged: %v", err)
+	}
+	if !w.Failed() || w.Err.Error() != min.Err.Error() {
+		t.Fatalf("replay verdict %v, recorded %v", w.Err, min.Err)
+	}
+}
+
+// TestReplayDetectsTamperedVerdict checks Replay refuses an artifact whose
+// recorded verdict contradicts the fresh execution.
+func TestReplayDetectsTamperedVerdict(t *testing.T) {
+	v, err := Execute(Run{Target: DetectorTarget{Family: "slanderer"}, N: 3, Steps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Failed() {
+		t.Fatal("expected a failing run to tamper with")
+	}
+	a := v.Artifact()
+	a.Verdict = "" // claim the run passed
+	if _, err := Replay(a); err == nil {
+		t.Error("replay accepted an artifact with a falsified verdict")
+	} else if !strings.Contains(err.Error(), "does not match recorded") {
+		t.Errorf("unexpected replay error: %v", err)
+	}
+}
+
+// TestShrinkIdentityOnPass checks Shrink is the identity on passing runs.
+func TestShrinkIdentityOnPass(t *testing.T) {
+	v, err := Execute(Run{Target: DetectorTarget{Family: "FD-Ω"}, N: 2, Steps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Failed() {
+		t.Fatalf("healthy run failed: %v", v.Err)
+	}
+	if min, tries := Shrink(v); tries != 0 || min.Failed() {
+		t.Errorf("Shrink spent %d tries on a passing run", tries)
+	}
+}

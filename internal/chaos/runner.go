@@ -1,0 +1,184 @@
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/sched"
+	"repro/internal/system"
+)
+
+// SweepConfig configures a chaos sweep: the cartesian product of targets ×
+// schedulers × seeds × enumerated fault plans, each run with independently
+// sampled gate parameters.
+type SweepConfig struct {
+	// Targets under test; empty defaults to DefaultTargets().
+	Targets []Target
+	// N is the number of locations (default 3).
+	N int
+	// MaxT caps crashes per plan; it is additionally clamped to each
+	// target's MaxT.  Negative means "target's maximum".
+	MaxT int
+	// Seeds runs seeds 0..Seeds-1 per (target, scheduler, plan) (default 8).
+	Seeds int
+	// Steps is the per-run step bound (0 = DefaultSteps(N)).
+	Steps int
+	// Scheds lists scheduler kinds to sweep (default Schedulers()).
+	Scheds []string
+	// Workers bounds runner goroutines (default GOMAXPROCS).
+	Workers int
+	// Shrink shrinks every failing run to a minimal reproducer.
+	Shrink bool
+}
+
+// DefaultTargets is the standard sweep: the Ω and ◇P detectors and
+// consensus over Ω.
+func DefaultTargets() []Target {
+	return []Target{
+		DetectorTarget{Family: "FD-Ω"},
+		DetectorTarget{Family: "FD-◇P"},
+		ConsensusTarget{Family: "FD-Ω"},
+	}
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if len(c.Targets) == 0 {
+		c.Targets = DefaultTargets()
+	}
+	if c.N <= 0 {
+		c.N = 3
+	}
+	if c.Seeds <= 0 {
+		c.Seeds = 8
+	}
+	if len(c.Scheds) == 0 {
+		c.Scheds = Schedulers()
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Report summarizes a sweep.
+type Report struct {
+	// Runs is the number of executions performed.
+	Runs int
+	// Failures holds one verdict per failing run (shrunk when requested),
+	// sorted by (target, scheduler, seed) for stable output.
+	Failures []Verdict
+	// Errors holds infrastructure errors (unbuildable targets, unknown
+	// schedulers) — always empty for well-formed configs.
+	Errors []error
+	// ShrinkTries counts candidate executions spent shrinking.
+	ShrinkTries int
+}
+
+// Sweep executes the configured cartesian product in parallel and collects
+// every specification violation.  Runs are independent — each worker builds
+// a fresh system with freshly compiled gates — so the sweep is
+// embarrassingly parallel and race-free; verdict collection is the only
+// synchronized step.
+func Sweep(cfg SweepConfig) *Report {
+	cfg = cfg.withDefaults()
+
+	var runs []Run
+	for _, target := range cfg.Targets {
+		maxT := target.MaxT(cfg.N)
+		if cfg.MaxT >= 0 && cfg.MaxT < maxT {
+			maxT = cfg.MaxT
+		}
+		plans := system.PlanSubsets(cfg.N, maxT)
+		for _, schedKind := range cfg.Scheds {
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				for pi, plan := range plans {
+					// Gate parameters are sampled from a PRNG keyed by
+					// (seed, plan index) so every run in the product sees a
+					// different — but reproducible — adversary.  The sampled
+					// values land in the Run (and any artifact); the
+					// sampling stream itself is never needed again.
+					grng := sched.NewPRNG(int64(seed)<<20 | int64(pi)<<1 | boolBit(schedKind == SchedLIFO))
+					steps := cfg.Steps
+					if steps <= 0 {
+						steps = DefaultSteps(cfg.N)
+					}
+					runs = append(runs, Run{
+						Target: target,
+						N:      cfg.N,
+						Plan:   plan,
+						Gates:  SampleGates(grng, cfg.N, steps),
+						Sched:  schedKind,
+						Seed:   int64(seed),
+						Steps:  cfg.Steps,
+					})
+				}
+			}
+		}
+	}
+
+	report := &Report{Runs: len(runs)}
+	jobs := make(chan Run)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range jobs {
+				v, err := Execute(r)
+				if err != nil {
+					mu.Lock()
+					report.Errors = append(report.Errors, err)
+					mu.Unlock()
+					continue
+				}
+				if !v.Failed() {
+					continue
+				}
+				tries := 0
+				if cfg.Shrink {
+					v, tries = Shrink(v)
+				}
+				mu.Lock()
+				report.Failures = append(report.Failures, v)
+				report.ShrinkTries += tries
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, r := range runs {
+		jobs <- r
+	}
+	close(jobs)
+	wg.Wait()
+
+	sort.Slice(report.Failures, func(i, j int) bool {
+		a, b := report.Failures[i].Run, report.Failures[j].Run
+		if a.Target.ID() != b.Target.ID() {
+			return a.Target.ID() < b.Target.ID()
+		}
+		if a.Sched != b.Sched {
+			return a.Sched < b.Sched
+		}
+		return a.Seed < b.Seed
+	})
+	return report
+}
+
+func boolBit(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Summary renders a one-line human-readable sweep outcome.
+func (r *Report) Summary() string {
+	if len(r.Errors) > 0 {
+		return fmt.Sprintf("%d runs, %d failures, %d infrastructure errors",
+			r.Runs, len(r.Failures), len(r.Errors))
+	}
+	return fmt.Sprintf("%d runs, %d failures", r.Runs, len(r.Failures))
+}

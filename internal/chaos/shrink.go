@@ -1,0 +1,122 @@
+package chaos
+
+import "strings"
+
+// errClause extracts the stable identity of a checker error: the trailing
+// parenthesized clause name every specification checker in this repository
+// emits (e.g. "(validity 2)", "(agreement)", "(strong accuracy)"), falling
+// back to the full message.  The shrinker preserves the clause so a
+// reduction can never swap the original violation for an unrelated one —
+// without this, bisecting the step bound happily "reproduces" any liveness
+// clause by truncating the run below its non-vacuity window.
+func errClause(err error) string {
+	s := err.Error()
+	if i := strings.LastIndexByte(s, '('); i >= 0 && strings.HasSuffix(s, ")") {
+		return s[i:]
+	}
+	return s
+}
+
+// Shrink minimizes a failing run to a smaller reproducer while preserving
+// the failure clause, by greedy reduction to fixpoint over a deterministic
+// candidate order:
+//
+//  1. simplify the scheduler (lifo/random → round-robin),
+//  2. drop planned crash events one at a time,
+//  3. zero the gate spec wholesale, then individual perturbations,
+//  4. bisect the step bound down to the smallest failing budget.
+//
+// Every candidate is re-executed with Execute and adopted only when it
+// still violates the same specification clause, so the result is a genuine
+// reproducer of the original failure; executions are deterministic, so
+// Shrink is too.  tries reports how many candidate executions were spent.
+func Shrink(v Verdict) (min Verdict, tries int) {
+	if !v.Failed() {
+		return v, 0
+	}
+	cur := v
+	clause := errClause(v.Err)
+
+	// attempt re-runs a candidate and adopts it if it still fails the same
+	// clause.
+	attempt := func(r Run) bool {
+		tries++
+		w, err := Execute(r)
+		if err == nil && w.Failed() && errClause(w.Err) == clause {
+			cur = w
+			return true
+		}
+		return false
+	}
+
+	// 1. Simplest scheduler first: a reproducer on fair round-robin is
+	// stronger (and replays fastest).  Note the checker tightens from
+	// safety-only to full membership, which can only preserve failure.
+	if cur.Run.Sched != "" && cur.Run.Sched != SchedRoundRobin {
+		r := cur.Run
+		r.Sched = SchedRoundRobin
+		attempt(r)
+	}
+
+	for changed := true; changed; {
+		changed = false
+
+		// 2. Drop crash events.
+		for k := 0; k < len(cur.Run.Plan.Crash); k++ {
+			r := cur.Run
+			r.Plan = r.Plan.WithoutCrash(k)
+			if attempt(r) {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			continue
+		}
+
+		// 3. Zero gates: all at once, then per perturbation.
+		if !cur.Run.Gates.IsZero() {
+			r := cur.Run
+			r.Gates = NoGates()
+			if attempt(r) {
+				continue
+			}
+			g := cur.Run.Gates
+			candidates := []GateSpec{g, g, g}
+			candidates[0].CrashAfter, candidates[0].CrashGap = 0, 0
+			candidates[1].DelayNth, candidates[1].DelayFor = 0, 0
+			candidates[2].StarveFrom, candidates[2].StarveTo, candidates[2].StarveUntil = -1, -1, 0
+			for _, cand := range candidates {
+				if cand == cur.Run.Gates {
+					continue
+				}
+				r := cur.Run
+				r.Gates = cand
+				if attempt(r) {
+					changed = true
+					break
+				}
+			}
+			if changed {
+				continue
+			}
+		}
+	}
+
+	// 4. Bisect the step bound: find the smallest budget that still fails.
+	// Failure need not be monotone in steps (a longer run can stabilize),
+	// so bisect against the last known-failing bound and keep cur pinned to
+	// an actually failing execution.
+	lo, hi := 0, cur.Run.steps() // invariant: hi fails, lo does not
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		r := cur.Run
+		r.Steps = mid
+		if attempt(r) {
+			hi = cur.Run.steps()
+		} else {
+			lo = mid
+		}
+	}
+	return cur, tries
+}

@@ -1,0 +1,193 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/afd"
+	"repro/internal/consensus"
+	"repro/internal/ioa"
+	"repro/internal/sched"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// SlandererID is the target ID of the intentionally broken detector used as
+// the harness's positive control.
+const SlandererID = "detector:slanderer"
+
+// DetectorTarget runs a failure detector's canonical automaton against the
+// crash automaton and judges the trace with the detector's own checker.
+type DetectorTarget struct {
+	// Family names a Section-3.3 zoo detector, or "slanderer" for the
+	// deliberately broken afd.Slanderer positive control.
+	Family string
+}
+
+var _ Target = DetectorTarget{}
+
+// ID implements Target.
+func (d DetectorTarget) ID() string { return "detector:" + d.Family }
+
+// MaxT implements Target: an AFD tolerates any fault pattern; keeping one
+// location live keeps liveness clauses non-vacuous.
+func (d DetectorTarget) MaxT(n int) int { return n - 1 }
+
+func (d DetectorTarget) detector(n int) (afd.Detector, error) {
+	if d.Family == "slanderer" {
+		return afd.Slanderer{}, nil
+	}
+	return afd.Lookup(d.Family, n)
+}
+
+// Build implements Target.
+func (d DetectorTarget) Build(n int, plan system.FaultPlan, _ bool) (*Built, error) {
+	det, err := d.detector(n)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := ioa.NewSystem(det.Automaton(n), system.NewCrash(plan))
+	if err != nil {
+		return nil, err
+	}
+	return &Built{Sys: sys}, nil
+}
+
+// Checker implements Target: full membership under fair schedules, safety
+// clauses only (prefix mode) otherwise.
+func (d DetectorTarget) Checker(n int, _ system.FaultPlan, fair bool) func(trace.T) error {
+	det, err := d.detector(n)
+	if err != nil {
+		return func(trace.T) error { return err }
+	}
+	w := afd.DefaultWindow()
+	if !fair {
+		w = afd.PrefixWindow()
+	}
+	return afd.Checker(det, n, w)
+}
+
+// ConsensusTarget runs the Section-9.3 consensus system S — CT processes, a
+// channel mesh, fixed-proposal environments, a zoo detector, the crash
+// automaton — and judges the trace against the Section-9.1 specification
+// with f = ⌊(n-1)/2⌋.
+type ConsensusTarget struct {
+	// Family is the detector family consensus runs with (e.g. afd.FamilyOmega).
+	Family string
+}
+
+var _ Target = ConsensusTarget{}
+
+// ID implements Target.
+func (c ConsensusTarget) ID() string { return "consensus:" + c.Family }
+
+// MaxT implements Target: the CT algorithm needs a correct majority.
+func (c ConsensusTarget) MaxT(n int) int { return (n - 1) / 2 }
+
+// values fixes deterministic mixed proposals (0,1,0,1,...), so validity and
+// agreement are non-trivial.
+func (c ConsensusTarget) values(n int) []int {
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = i % 2
+	}
+	return vs
+}
+
+// Build implements Target.
+func (c ConsensusTarget) Build(n int, plan system.FaultPlan, lifo bool) (*Built, error) {
+	det, err := afd.Lookup(c.Family, n)
+	if err != nil {
+		return nil, err
+	}
+	spec := consensus.BuildSpec{
+		N:      n,
+		Family: c.Family,
+		Det:    det.Automaton(n),
+		Crash:  append([]ioa.Loc(nil), plan.Crash...),
+		Values: c.values(n),
+	}
+	var clock *system.SendClock
+	if lifo {
+		clock = system.NewSendClock()
+		spec.Clock = clock
+	}
+	sys, err := consensus.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	b := &Built{Sys: sys, Stop: consensusStop(n)}
+	if clock != nil {
+		b.Prio = newestFirst(sys)
+	}
+	return b, nil
+}
+
+// consensusStop ends a run once every not-yet-crashed location has decided
+// (same bookkeeping as consensus.Run: a gated crash that never fires leaves
+// its location live and its decision required).
+func consensusStop(n int) func(*ioa.System, ioa.Action) bool {
+	faulty := make(map[ioa.Loc]bool)
+	decided := make(map[ioa.Loc]bool)
+	all := func() bool {
+		for i := 0; i < n; i++ {
+			if !faulty[ioa.Loc(i)] && !decided[ioa.Loc(i)] {
+				return false
+			}
+		}
+		return true
+	}
+	return func(_ *ioa.System, last ioa.Action) bool {
+		switch {
+		case last.Kind == ioa.KindCrash:
+			faulty[last.Loc] = true
+			return all()
+		case last.Kind == ioa.KindEnvOut && last.Name == system.ActNameDecide:
+			decided[last.Loc] = true
+			return all()
+		}
+		return false
+	}
+}
+
+// newestFirst ranks channel deliveries by the send stamp of the message at
+// the head of the delivering channel: the most recently sent deliverable
+// message wins, realizing deliver-last-sent-first.  Non-delivery actions
+// rank at zero, below any delivery.
+func newestFirst(sys *ioa.System) sched.Priority {
+	// TaskRef.Auto indexes sys.Automata(); cache the tracked channels.
+	autos := sys.Automata()
+	return func(tr ioa.TaskRef, act ioa.Action) int {
+		if act.Kind != ioa.KindReceive {
+			return 0
+		}
+		tc, ok := autos[tr.Auto].(*system.TrackedChannel)
+		if !ok {
+			return 0
+		}
+		if stamp, ok := tc.HeadStamp(); ok {
+			return int(stamp)
+		}
+		return 0
+	}
+}
+
+// Checker implements Target.  Under fair schedules the run is treated as
+// complete (the step bound is generous and the stop condition fires once
+// everyone live decided), enforcing termination; under unfair schedules
+// only the safety clauses are enforced.
+func (c ConsensusTarget) Checker(n int, _ system.FaultPlan, fair bool) func(trace.T) error {
+	return consensus.Spec{N: n, F: c.MaxT(n)}.Checker(fair)
+}
+
+// ParseTarget resolves an artifact target ID back to a Target.
+func ParseTarget(id string) (Target, error) {
+	switch {
+	case strings.HasPrefix(id, "detector:"):
+		return DetectorTarget{Family: strings.TrimPrefix(id, "detector:")}, nil
+	case strings.HasPrefix(id, "consensus:"):
+		return ConsensusTarget{Family: strings.TrimPrefix(id, "consensus:")}, nil
+	default:
+		return nil, fmt.Errorf("chaos: unknown target %q", id)
+	}
+}

@@ -57,6 +57,11 @@ type BuildSpec struct {
 	// Values fixes the environment proposals per location; nil uses the
 	// free Algorithm-4 environment (both values enabled).
 	Values []int
+	// Clock, when non-nil, swaps the channel mesh for send-stamping
+	// TrackedChannels sharing this clock, enabling recency-based
+	// adversarial schedulers (sched.RandomPriority with a newest-first
+	// priority).  Delivery semantics are unchanged.
+	Clock *system.SendClock
 }
 
 // Build composes the system.
@@ -75,7 +80,11 @@ func Build(spec BuildSpec) (*ioa.System, error) {
 		return nil, err
 	}
 	autos := procs
-	autos = append(autos, system.Channels(spec.N)...)
+	if spec.Clock != nil {
+		autos = append(autos, system.TrackedChannels(spec.N, spec.Clock)...)
+	} else {
+		autos = append(autos, system.Channels(spec.N)...)
+	}
 	if spec.Values != nil {
 		if len(spec.Values) != spec.N {
 			return nil, fmt.Errorf("consensus: %d values for %d locations", len(spec.Values), spec.N)

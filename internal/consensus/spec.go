@@ -122,6 +122,15 @@ func (s Spec) Check(t trace.T, complete bool) error {
 	return s.CheckGuarantees(t, complete)
 }
 
+// Checker adapts the consensus specification to the uniform run-verdict
+// signature func(trace.T) error consumed by the chaos harness: given a full
+// system trace, project it onto IP ∪ OP and decide membership in TP.
+func (s Spec) Checker(complete bool) func(trace.T) error {
+	return func(t trace.T) error {
+		return s.Check(ProjectIO(t), complete)
+	}
+}
+
 // ProjectIO projects a full system trace onto IP ∪ OP.
 func ProjectIO(t trace.T) trace.T {
 	return trace.Project(t, func(a ioa.Action) bool {

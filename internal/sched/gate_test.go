@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/system"
+)
+
+// TestCrashesAfterSharedGateHazard demonstrates why CrashesAfter must be
+// constructed once per run: the gate's release counter survives the first
+// run, so a second run sharing the gate value sees its first crash held to
+// the *second* release threshold.
+func TestCrashesAfterSharedGateHazard(t *testing.T) {
+	countCrashes := func(gate Gate) int {
+		sys := build(t, system.CrashOf(0))
+		RoundRobin(sys, Options{MaxSteps: 50, Gate: gate})
+		n := 0
+		for _, a := range sys.Trace() {
+			if a.Kind == ioa.KindCrash {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Fresh gate per run: the crash releases at step >= 1 in both runs.
+	if got := countCrashes(CrashesAfter(1, 40)); got != 1 {
+		t.Fatalf("fresh gate run 1: %d crashes, want 1", got)
+	}
+	if got := countCrashes(CrashesAfter(1, 40)); got != 1 {
+		t.Fatalf("fresh gate run 2: %d crashes, want 1", got)
+	}
+
+	// Shared gate: run 1 consumes release 0; run 2's crash now needs
+	// step >= 1 + 1*40 = 41, beyond anything its short run reaches, so the
+	// crash silently never fires.
+	shared := CrashesAfter(1, 40)
+	if got := countCrashes(shared); got != 1 {
+		t.Fatalf("shared gate run 1: %d crashes, want 1", got)
+	}
+	if got := countCrashes(shared); got != 0 {
+		t.Fatalf("shared gate run 2: %d crashes, want 0 (stateful hazard)", got)
+	}
+}
+
+// TestCrashesAfterGapZeroReleasesAllAtOnce is the regression test for the
+// gap = 0 edge case: once the step threshold is reached, every planned
+// crash is released back-to-back.
+func TestCrashesAfterGapZeroReleasesAllAtOnce(t *testing.T) {
+	sys := build(t, system.CrashOf(0, 1, 0))
+	RoundRobin(sys, Options{MaxSteps: 100, Gate: CrashesAfter(3, 0)})
+	var crashSteps []int
+	for i, a := range sys.Trace() {
+		if a.Kind == ioa.KindCrash {
+			crashSteps = append(crashSteps, i)
+		}
+	}
+	if len(crashSteps) != 3 {
+		t.Fatalf("%d crashes fired, want all 3", len(crashSteps))
+	}
+	if crashSteps[0] < 3 {
+		t.Fatalf("first crash at trace index %d, before threshold", crashSteps[0])
+	}
+	// Back-to-back: consecutive trace positions once released.
+	for i := 1; i < len(crashSteps); i++ {
+		if crashSteps[i] != crashSteps[i-1]+1 {
+			t.Fatalf("crashes not back-to-back at indices %v", crashSteps)
+		}
+	}
+}
+
+func TestGatesConjunction(t *testing.T) {
+	always := Gate(func(int, ioa.TaskRef, ioa.Action) bool { return true })
+	never := Gate(func(int, ioa.TaskRef, ioa.Action) bool { return false })
+	g := Gates(always, nil, never)
+	if g(0, ioa.TaskRef{}, ioa.Action{}) {
+		t.Fatal("conjunction with a vetoing gate admitted an action")
+	}
+	g = Gates(always, nil)
+	if !g(0, ioa.TaskRef{}, ioa.Action{}) {
+		t.Fatal("conjunction of admitting gates vetoed an action")
+	}
+}
+
+func TestPRNGDeterministicAndSpread(t *testing.T) {
+	a, b := NewPRNG(42), NewPRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Intn(97) != b.Intn(97) {
+			t.Fatal("same seed diverged")
+		}
+	}
+	seen := make(map[int]bool)
+	r := NewPRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("1000 draws hit only %d/10 values", len(seen))
+	}
+}
+
+func TestRandomPriorityPrefersHighPriority(t *testing.T) {
+	// Priority favoring the 1→0 channel: its delivery must fire first even
+	// though two 0→1 messages are also ready.
+	sys := build(t, system.NoFaults())
+	res := RandomPriority(sys, NewPRNG(1), func(_ ioa.TaskRef, act ioa.Action) int {
+		if act.Kind == ioa.KindReceive && act.Peer == 1 {
+			return 1
+		}
+		return 0
+	}, Options{MaxSteps: 100})
+	if res.Reason != StopQuiescent {
+		t.Fatalf("reason = %s", res.Reason)
+	}
+	tr := sys.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("trace length = %d, want 3", len(tr))
+	}
+	if tr[0].Peer != 1 || tr[0].Kind != ioa.KindReceive {
+		t.Fatalf("first event %v, want the prioritized 1→0 delivery", tr[0])
+	}
+}
+
+func TestRandomPriorityDeterministicPerSeed(t *testing.T) {
+	run := func() []ioa.Action {
+		sys := build(t, system.CrashOf(1))
+		RandomPriority(sys, NewPRNG(9), func(ioa.TaskRef, ioa.Action) int { return 0 },
+			Options{MaxSteps: 100})
+		return append([]ioa.Action(nil), sys.Trace()...)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different schedules")
+		}
+	}
+}

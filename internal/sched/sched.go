@@ -29,6 +29,27 @@ const (
 	StopCondition StopReason = "condition"
 )
 
+// Gate may veto scheduling an enabled action this turn.  Gating is only
+// sound for actions whose automaton tolerates arbitrary delay without
+// breaking fairness (crash actions, per §4.4), for bounded delays of other
+// actions (a gate that eventually stops vetoing an action only reshuffles
+// the fair execution's prefix), or when the run intentionally explores
+// unfair schedules (the FLP adversary).
+type Gate func(step int, tr ioa.TaskRef, act ioa.Action) bool
+
+// Gates combines gates conjunctively: an action is schedulable only if every
+// gate admits it.  Nil gates are skipped.
+func Gates(gs ...Gate) Gate {
+	return func(step int, tr ioa.TaskRef, act ioa.Action) bool {
+		for _, g := range gs {
+			if g != nil && !g(step, tr, act) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
 // Options configures a run.
 type Options struct {
 	// MaxSteps bounds the number of events performed (default 10_000).
@@ -37,10 +58,7 @@ type Options struct {
 	// ends the run.
 	Stop func(sys *ioa.System, last ioa.Action) bool
 	// Gate, when non-nil, may veto scheduling an enabled action this turn.
-	// Gating is only sound for actions whose automaton tolerates arbitrary
-	// delay without breaking fairness (crash actions, per §4.4) or when the
-	// run intentionally explores unfair schedules (the FLP adversary).
-	Gate func(step int, tr ioa.TaskRef, act ioa.Action) bool
+	Gate Gate
 }
 
 func (o Options) maxSteps() int {
@@ -58,8 +76,20 @@ type Result struct {
 
 // CrashesAfter returns a Gate that blocks every crash action until the
 // system has performed at least step events, releasing the k-th planned
-// crash only after step + k*gap further events.
-func CrashesAfter(step, gap int) func(int, ioa.TaskRef, ioa.Action) bool {
+// crash only after step + k*gap further events.  With gap = 0 every planned
+// crash is released as soon as the step threshold is reached, so the whole
+// fault pattern can fire back-to-back.
+//
+// The returned gate is STATEFUL: it counts how many crashes it has released.
+// Construct a fresh gate per run — sharing one gate value between two runs
+// makes the second run inherit the first run's release count, silently
+// postponing its crashes by released*gap extra steps (see
+// TestCrashesAfterSharedGateHazard).  Note also that under schedulers which
+// consult the gate without necessarily firing the admitted action in the
+// same step (Random builds a candidate set first), the release counter can
+// advance faster than crashes actually fire; this only ever releases
+// *earlier*, never suppresses, so the gate remains delay-only.
+func CrashesAfter(step, gap int) Gate {
 	released := 0
 	return func(now int, _ ioa.TaskRef, act ioa.Action) bool {
 		if act.Kind != ioa.KindCrash {
@@ -113,6 +143,12 @@ func RoundRobin(sys *ioa.System, opts Options) Result {
 	return Result{Steps: sys.Steps(), Reason: StopLimit}
 }
 
+// choice pairs a ready task with its enabled action.
+type choice struct {
+	tr  ioa.TaskRef
+	act ioa.Action
+}
+
 // Random runs sys picking uniformly among enabled (and un-gated) tasks.
 // Random schedules are fair with probability 1 over infinite runs; over the
 // bounded prefix they provide schedule diversity for property tests.
@@ -120,12 +156,9 @@ func Random(sys *ioa.System, seed int64, opts Options) Result {
 	rng := rand.New(rand.NewSource(seed))
 	limit := opts.maxSteps()
 	tasks := sys.Tasks()
+	ready := make([]choice, 0, len(tasks))
 	for sys.Steps() < limit {
-		type choice struct {
-			tr  ioa.TaskRef
-			act ioa.Action
-		}
-		var ready []choice
+		ready = ready[:0]
 		for _, tr := range tasks {
 			act, ok := sys.Enabled(tr)
 			if !ok {
@@ -148,8 +181,58 @@ func Random(sys *ioa.System, seed int64, opts Options) Result {
 	return Result{Steps: sys.Steps(), Reason: StopLimit}
 }
 
+// Priority ranks a ready (task, action) pair; RandomPriority only fires
+// actions of maximal priority this step.  Priorities may depend on system
+// state (e.g. per-channel send stamps) but must be a deterministic function
+// of it so runs replay.
+type Priority func(tr ioa.TaskRef, act ioa.Action) int
+
+// RandomPriority runs sys picking uniformly — via the deterministic PRNG —
+// among the highest-priority enabled (and un-gated) tasks.  With a constant
+// priority it behaves like Random over the PRNG; with a skewed priority it
+// is an adversarial schedule explorer in the spirit of Drive+Strategy (it
+// need not be fair, so pair it with safety-only checkers unless the
+// priority is bounded-skew).
+func RandomPriority(sys *ioa.System, rng PRNG, prio Priority, opts Options) Result {
+	limit := opts.maxSteps()
+	tasks := sys.Tasks()
+	ready := make([]choice, 0, len(tasks))
+	for sys.Steps() < limit {
+		ready = ready[:0]
+		best := 0
+		for _, tr := range tasks {
+			act, ok := sys.Enabled(tr)
+			if !ok {
+				continue
+			}
+			if opts.Gate != nil && !opts.Gate(sys.Steps(), tr, act) {
+				continue
+			}
+			p := prio(tr, act)
+			switch {
+			case len(ready) == 0 || p > best:
+				best = p
+				ready = append(ready[:0], choice{tr, act})
+			case p == best:
+				ready = append(ready, choice{tr, act})
+			}
+		}
+		if len(ready) == 0 {
+			return Result{Steps: sys.Steps(), Reason: StopQuiescent}
+		}
+		c := ready[rng.Intn(len(ready))]
+		sys.Apply(c.tr.Auto, c.act)
+		if opts.Stop != nil && opts.Stop(sys, c.act) {
+			return Result{Steps: sys.Steps(), Reason: StopCondition}
+		}
+	}
+	return Result{Steps: sys.Steps(), Reason: StopLimit}
+}
+
 // Strategy chooses the next task among the currently enabled ones; it may
-// implement an adversary.  Returning -1 halts the run.
+// implement an adversary.  Returning -1 halts the run.  The enabled/acts
+// slices are reused by the driver between steps and must not be retained
+// past the Choose call.
 type Strategy interface {
 	Choose(sys *ioa.System, enabled []ioa.TaskRef, acts []ioa.Action) int
 }
@@ -167,9 +250,10 @@ func (f StrategyFunc) Choose(sys *ioa.System, enabled []ioa.TaskRef, acts []ioa.
 func Drive(sys *ioa.System, s Strategy, opts Options) Result {
 	limit := opts.maxSteps()
 	tasks := sys.Tasks()
+	enabled := make([]ioa.TaskRef, 0, len(tasks))
+	acts := make([]ioa.Action, 0, len(tasks))
 	for sys.Steps() < limit {
-		var enabled []ioa.TaskRef
-		var acts []ioa.Action
+		enabled, acts = enabled[:0], acts[:0]
 		for _, tr := range tasks {
 			if act, ok := sys.Enabled(tr); ok {
 				enabled = append(enabled, tr)

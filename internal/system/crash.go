@@ -34,6 +34,54 @@ func (p FaultPlan) MaxFaulty() int {
 	return len(seen)
 }
 
+// String renders the plan compactly, e.g. "crash{0,2}" or "crash{}".
+func (p FaultPlan) String() string {
+	locs := make([]string, len(p.Crash))
+	for i, l := range p.Crash {
+		locs[i] = l.String()
+	}
+	return "crash{" + strings.Join(locs, ",") + "}"
+}
+
+// WithoutCrash returns a copy of the plan with the k-th planned crash event
+// removed (the shrinker's elementary reduction step).  Out-of-range k
+// returns the plan unchanged.
+func (p FaultPlan) WithoutCrash(k int) FaultPlan {
+	if k < 0 || k >= len(p.Crash) {
+		return p
+	}
+	out := make([]ioa.Loc, 0, len(p.Crash)-1)
+	out = append(out, p.Crash[:k]...)
+	out = append(out, p.Crash[k+1:]...)
+	return FaultPlan{Crash: out}
+}
+
+// PlanSubsets enumerates every fault plan crashing a subset of locations
+// 0..n-1 with at most maxT distinct crashes, each location at most once, in
+// deterministic order (by subset size, then lexicographically).  The empty
+// plan comes first.  The count is sum_{k<=maxT} C(n,k); callers keep n and
+// maxT small or sample with a PRNG instead.
+func PlanSubsets(n, maxT int) []FaultPlan {
+	if maxT > n {
+		maxT = n
+	}
+	var out []FaultPlan
+	var rec func(start int, cur []ioa.Loc, want int)
+	rec = func(start int, cur []ioa.Loc, want int) {
+		if len(cur) == want {
+			out = append(out, CrashOf(append([]ioa.Loc(nil), cur...)...))
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(cur, ioa.Loc(i)), want)
+		}
+	}
+	for k := 0; k <= maxT; k++ {
+		rec(0, nil, k)
+	}
+	return out
+}
+
 // CrashAutomaton realizes the crash automaton C of Section 4.4 restricted to
 // a fault plan: it has one task per planned crash event; task k is enabled
 // once tasks 0..k-1 have fired.  Sequencing the tasks keeps the fault

@@ -1,0 +1,94 @@
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// SendClock is a monotonic counter shared by a mesh of TrackedChannels; it
+// stamps every enqueued message with its global send order.  Stamps are a
+// deterministic function of the schedule, so runs over tracked channels
+// replay exactly.
+type SendClock struct{ now uint64 }
+
+// NewSendClock returns a clock starting at zero.
+func NewSendClock() *SendClock { return &SendClock{} }
+
+func (c *SendClock) tick() uint64 { c.now++; return c.now }
+
+// Now returns the number of stamps issued so far.
+func (c *SendClock) Now() uint64 { return c.now }
+
+// TrackedChannel is a Channel that additionally stamps each in-transit
+// message with the global send order from a shared SendClock.  Delivery
+// semantics are identical to Channel (reliable FIFO, unaffected by
+// crashes); the stamps exist so adversarial schedulers can prioritize
+// deliveries by send recency (e.g. deliver-last-sent-first) while staying a
+// deterministic function of the schedule.
+type TrackedChannel struct {
+	Channel
+	clock  *SendClock
+	stamps []uint64
+}
+
+var _ ioa.Automaton = (*TrackedChannel)(nil)
+
+// NewTrackedChannel returns the empty tracked channel automaton from→to
+// stamping with clock.
+func NewTrackedChannel(from, to ioa.Loc, clock *SendClock) *TrackedChannel {
+	return &TrackedChannel{Channel: Channel{From: from, To: to}, clock: clock}
+}
+
+// Input enqueues the message and stamps it.
+func (c *TrackedChannel) Input(a ioa.Action) {
+	c.Channel.Input(a)
+	c.stamps = append(c.stamps, c.clock.tick())
+}
+
+// Fire dequeues the delivered message and its stamp.
+func (c *TrackedChannel) Fire(a ioa.Action) {
+	c.Channel.Fire(a)
+	c.stamps = c.stamps[1:]
+}
+
+// HeadStamp returns the send stamp of the message next in line for
+// delivery, and false when the channel is empty.
+func (c *TrackedChannel) HeadStamp() (uint64, bool) {
+	if len(c.stamps) == 0 {
+		return 0, false
+	}
+	return c.stamps[0], true
+}
+
+// Clone implements ioa.Automaton.  The clone SHARES the send clock: stamp
+// uniqueness is global, and the chaos machinery only ever runs one line of
+// execution per clock.  Drivers forking executions (the execution tree)
+// should use plain Channels.
+func (c *TrackedChannel) Clone() ioa.Automaton {
+	cc := &TrackedChannel{Channel: Channel{From: c.From, To: c.To}, clock: c.clock}
+	cc.queue = append([]string(nil), c.queue...)
+	cc.stamps = append([]uint64(nil), c.stamps...)
+	return cc
+}
+
+// Encode implements ioa.Automaton; stamps are part of the state.
+func (c *TrackedChannel) Encode() string {
+	return fmt.Sprintf("T%s#%v", c.Channel.Encode(), c.stamps)
+}
+
+// TrackedChannels returns the full mesh of n(n-1) tracked channel automata
+// for locations 0..n-1 sharing one clock, in lexicographic (from, to)
+// order — a drop-in replacement for Channels when schedulers need send
+// stamps.
+func TrackedChannels(n int, clock *SendClock) []ioa.Automaton {
+	var out []ioa.Automaton
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				out = append(out, NewTrackedChannel(ioa.Loc(i), ioa.Loc(j), clock))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/ioa"
+)
+
+// ArtifactVersion is the current wire-format version of Artifact.
+const ArtifactVersion = 1
+
+// GateVeto records one scheduling veto by an adversarial gate: the step
+// counter at which an enabled action was held back, and the action.  The
+// veto log is informational — replay determinism comes from re-deriving the
+// gates from the recorded parameters, not from playing the log back — but
+// it makes a shrunk reproducer legible without re-running it.
+type GateVeto struct {
+	Step   int    `json:"step"`
+	Action string `json:"action"`
+}
+
+// Artifact is a self-contained, replayable record of one chaos run: the
+// target system, the full randomness (seed), the fault plan, the gate
+// parameters, and the verdict.  Everything the run consumed is a
+// deterministic function of these fields, so feeding an artifact back
+// through the chaos runner reproduces the identical execution and verdict.
+//
+// Gate holds named integer parameters whose interpretation belongs to the
+// harness that wrote the artifact (package chaos documents its keys); the
+// trace package only defines the wire schema.
+type Artifact struct {
+	Version int            `json:"version"`
+	Target  string         `json:"target"`
+	N       int            `json:"n"`
+	Steps   int            `json:"steps"`
+	Sched   string         `json:"sched"`
+	Seed    int64          `json:"seed"`
+	Crash   []ioa.Loc      `json:"crash"`
+	Gate    map[string]int `json:"gate,omitempty"`
+	GateLog []GateVeto     `json:"gateLog,omitempty"`
+	Verdict string         `json:"verdict,omitempty"`
+	Trace   T              `json:"-"`
+}
+
+// artifactWire is Artifact with the trace in jsonEvent form.
+type artifactWire struct {
+	Artifact
+	Events []jsonEvent `json:"events,omitempty"`
+}
+
+// WriteArtifact writes the artifact as indented JSON.
+func WriteArtifact(w io.Writer, a *Artifact) error {
+	wire := artifactWire{Artifact: *a, Events: encodeEvents(a.Trace)}
+	wire.Version = ArtifactVersion
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(wire)
+}
+
+// ReadArtifact reads an artifact written by WriteArtifact.
+func ReadArtifact(r io.Reader) (*Artifact, error) {
+	var wire artifactWire
+	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("trace: decoding artifact: %w", err)
+	}
+	if wire.Version != ArtifactVersion {
+		return nil, fmt.Errorf("trace: artifact version %d, want %d", wire.Version, ArtifactVersion)
+	}
+	t, err := decodeEvents(wire.Events)
+	if err != nil {
+		return nil, err
+	}
+	a := wire.Artifact
+	a.Trace = t
+	return &a, nil
+}

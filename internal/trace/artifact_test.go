@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+func TestArtifactRoundTrip(t *testing.T) {
+	a := &Artifact{
+		Target:  "detector:FD-P",
+		N:       3,
+		Steps:   128,
+		Sched:   "random",
+		Seed:    42,
+		Crash:   []ioa.Loc{2, 0},
+		Gate:    map[string]int{"crashAfter": 10, "crashGap": 5},
+		GateLog: []GateVeto{{Step: 3, Action: "crash_2"}},
+		Verdict: "afd: output after crash",
+		Trace: T{
+			ioa.Crash(2),
+			ioa.FDOutput("FD-P", 0, "{2}"),
+			ioa.Send(0, 1, "m"),
+			ioa.Receive(1, 0, "m"),
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Target != a.Target || b.N != a.N || b.Steps != a.Steps ||
+		b.Sched != a.Sched || b.Seed != a.Seed || b.Verdict != a.Verdict {
+		t.Fatalf("scalar fields differ: %+v vs %+v", b, a)
+	}
+	if len(b.Crash) != 2 || b.Crash[0] != 2 || b.Crash[1] != 0 {
+		t.Fatalf("crash plan = %v", b.Crash)
+	}
+	if b.Gate["crashAfter"] != 10 || b.Gate["crashGap"] != 5 {
+		t.Fatalf("gate params = %v", b.Gate)
+	}
+	if len(b.GateLog) != 1 || b.GateLog[0] != (GateVeto{Step: 3, Action: "crash_2"}) {
+		t.Fatalf("gate log = %v", b.GateLog)
+	}
+	if !Equal(b.Trace, a.Trace) {
+		t.Fatalf("trace differs: %v vs %v", b.Trace, a.Trace)
+	}
+	if b.Version != ArtifactVersion {
+		t.Fatalf("version = %d", b.Version)
+	}
+}
+
+func TestArtifactVersionMismatch(t *testing.T) {
+	in := strings.NewReader(`{"version": 99, "target": "x"}`)
+	if _, err := ReadArtifact(in); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestArtifactEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, &Artifact{Target: "t", N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Trace) != 0 {
+		t.Fatalf("trace = %v, want empty", b.Trace)
+	}
+}

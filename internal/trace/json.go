@@ -35,8 +35,8 @@ var kindValues = func() map[string]ioa.Kind {
 	return m
 }()
 
-// WriteJSON writes a trace as a JSON array of events.
-func WriteJSON(w io.Writer, t T) error {
+// encodeEvents converts a trace to its wire form.
+func encodeEvents(t T) []jsonEvent {
 	events := make([]jsonEvent, len(t))
 	for i, a := range t {
 		events[i] = jsonEvent{
@@ -50,17 +50,18 @@ func WriteJSON(w io.Writer, t T) error {
 			events[i].Peer = &peer
 		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(events)
+	return events
 }
 
-// ReadJSON reads a trace written by WriteJSON.
-func ReadJSON(r io.Reader) (T, error) {
-	var events []jsonEvent
-	if err := json.NewDecoder(r).Decode(&events); err != nil {
-		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
-	}
+// WriteJSON writes a trace as a JSON array of events.
+func WriteJSON(w io.Writer, t T) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(encodeEvents(t))
+}
+
+// decodeEvents converts wire events back to a trace.
+func decodeEvents(events []jsonEvent) (T, error) {
 	out := make(T, len(events))
 	for i, e := range events {
 		k, ok := kindValues[e.Kind]
@@ -84,4 +85,13 @@ func ReadJSON(r io.Reader) (T, error) {
 		out[i] = ioa.Action{Kind: k, Name: name, Loc: e.Loc, Peer: peer, Payload: e.Payload}
 	}
 	return out, nil
+}
+
+// ReadJSON reads a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (T, error) {
+	var events []jsonEvent
+	if err := json.NewDecoder(r).Decode(&events); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	return decodeEvents(events)
 }
