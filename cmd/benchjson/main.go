@@ -1,0 +1,100 @@
+// Command benchjson measures the E1 event-throughput experiment (the
+// Figure-1 composition of EXPERIMENTS.md driven to a fixed step budget) and
+// writes the results as JSON, one record per system size.  CI runs it on
+// every pull request and uploads the file as the BENCH_pr artifact so
+// throughput regressions across PRs are a download-and-diff away.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/afd"
+	"repro/internal/ioa"
+	"repro/internal/sched"
+	"repro/internal/system"
+)
+
+// sizeResult is the E1 row for one system size.
+type sizeResult struct {
+	N            int     `json:"n"`
+	Events       int     `json:"events"`
+	NsBest       int64   `json:"ns_best"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// report is the BENCH_pr.json schema.
+type report struct {
+	Experiment string       `json:"experiment"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	Steps      int          `json:"steps"`
+	Reps       int          `json:"reps"`
+	Sizes      []sizeResult `json:"sizes"`
+}
+
+func run(n, steps int) (events int, elapsed time.Duration, err error) {
+	d, err := afd.Lookup(afd.FamilyP, n)
+	if err != nil {
+		return 0, 0, err
+	}
+	autos := []ioa.Automaton{d.Automaton(n)}
+	autos = append(autos, system.Channels(n)...)
+	autos = append(autos, system.NewCrash(system.NoFaults()))
+	sys, err := ioa.NewSystem(autos...)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	sched.RoundRobin(sys, sched.Options{MaxSteps: steps})
+	return sys.Steps(), time.Since(start), nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr.json", "output path")
+	steps := flag.Int("steps", 100_000, "events per measured run")
+	reps := flag.Int("reps", 3, "repetitions per size (best is reported)")
+	flag.Parse()
+
+	rep := report{
+		Experiment: "E1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Steps:      *steps,
+		Reps:       *reps,
+	}
+	for _, n := range []int{4, 8, 16, 32} {
+		best := sizeResult{N: n}
+		for r := 0; r < *reps; r++ {
+			events, el, err := run(n, *steps)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: n=%d: %v\n", n, err)
+				os.Exit(1)
+			}
+			if best.NsBest == 0 || el.Nanoseconds() < best.NsBest {
+				best.Events = events
+				best.NsBest = el.Nanoseconds()
+				best.EventsPerSec = float64(events) / el.Seconds()
+			}
+		}
+		rep.Sizes = append(rep.Sizes, best)
+		fmt.Printf("n=%-3d %d events in %v (%.0f events/sec)\n",
+			n, best.Events, time.Duration(best.NsBest), best.EventsPerSec)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

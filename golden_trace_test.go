@@ -1,0 +1,247 @@
+// Golden-trace regression suite for the simulation-core fast path: every
+// scheduler must produce byte-identical executions (trace and final state
+// encoding) for fixed seeds before and after the action-routing index and
+// incremental ready-set.  The golden hashes below were captured on the
+// pre-fast-path tree; any schedule drift — a different delivery order, a
+// different candidate set, a different PRNG consumption pattern — changes
+// the hash and fails the test.
+//
+// To re-pin after an *intentional* schedule change (e.g. a scheduler PRNG
+// swap), run with GOLDEN_PRINT=1 and paste the printed table:
+//
+//	GOLDEN_PRINT=1 go test -run TestGoldenTraces -v
+package repro
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/afd"
+	"repro/internal/chaos"
+	"repro/internal/consensus"
+	"repro/internal/ioa"
+	"repro/internal/sched"
+	"repro/internal/system"
+)
+
+// goldenHash digests an executed system: every external event in order, a
+// separator, then the canonical encoding of the final composed state.
+func goldenHash(sys *ioa.System) string {
+	h := sha256.New()
+	for _, a := range sys.Trace() {
+		h.Write([]byte(a.String()))
+		h.Write([]byte{'\n'})
+	}
+	h.Write([]byte{0})
+	h.Write([]byte(sys.Encode()))
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// detectorSystem is the Figure-1 composition the E1 benchmark uses: the P
+// detector, the full channel mesh, and a crash automaton.
+func detectorSystem(t testing.TB, n int, plan system.FaultPlan) *ioa.System {
+	t.Helper()
+	d, err := afd.Lookup(afd.FamilyP, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	autos := []ioa.Automaton{d.Automaton(n)}
+	autos = append(autos, system.Channels(n)...)
+	autos = append(autos, system.NewCrash(plan))
+	return ioa.MustNewSystem(autos...)
+}
+
+// trackedSystem swaps the mesh for send-stamping channels so the
+// deliver-last-sent-first priority has stamps to rank by.
+func trackedSystem(t testing.TB, n int, plan system.FaultPlan) *ioa.System {
+	t.Helper()
+	d, err := afd.Lookup(afd.FamilyP, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := system.NewSendClock()
+	autos := []ioa.Automaton{d.Automaton(n)}
+	autos = append(autos, system.TrackedChannels(n, clock)...)
+	autos = append(autos, system.NewCrash(plan))
+	return ioa.MustNewSystem(autos...)
+}
+
+// consensusSystem is the Section-9.3 system S under Ω with a fixed fault
+// plan and mixed proposals.
+func consensusSystem(t testing.TB, n int, plan system.FaultPlan) *ioa.System {
+	t.Helper()
+	d, err := afd.Lookup(afd.FamilyOmega, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i % 2
+	}
+	sys, err := consensus.Build(consensus.BuildSpec{
+		N: n, Family: afd.FamilyOmega, Det: d.Automaton(n),
+		Crash: plan.Crash, Values: vals,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// lifoPrio ranks channel deliveries by send stamp (newest first), matching
+// the chaos SchedLIFO adversary.
+func lifoPrio(sys *ioa.System) sched.Priority {
+	return func(tr ioa.TaskRef, act ioa.Action) int {
+		if tc, ok := sys.Automata()[tr.Auto].(*system.TrackedChannel); ok {
+			if s, ok := tc.HeadStamp(); ok {
+				return int(s)
+			}
+		}
+		return 0
+	}
+}
+
+// goldenCases enumerates every (composition, scheduler, seed) pinned by the
+// suite.  Each case returns the executed system.
+var goldenCases = []struct {
+	name string
+	want string
+	run  func(t testing.TB) *ioa.System
+}{
+	{"rr/detector/n4/crash1", "GOLDEN_RR_DET", func(t testing.TB) *ioa.System {
+		sys := detectorSystem(t, 4, system.CrashOf(1))
+		sched.RoundRobin(sys, sched.Options{MaxSteps: 600, Gate: sched.CrashesAfter(40, 20)})
+		return sys
+	}},
+	{"rr/consensus/n3/crash0", "GOLDEN_RR_CONS", func(t testing.TB) *ioa.System {
+		sys := consensusSystem(t, 3, system.CrashOf(0))
+		sched.RoundRobin(sys, sched.Options{MaxSteps: 2000, Gate: sched.CrashesAfter(50, 0)})
+		return sys
+	}},
+	{"random/detector/n4/seed1", "GOLDEN_RAND_1", func(t testing.TB) *ioa.System {
+		sys := detectorSystem(t, 4, system.CrashOf(1))
+		sched.Random(sys, 1, sched.Options{MaxSteps: 600, Gate: sched.CrashesAfter(40, 20)})
+		return sys
+	}},
+	{"random/detector/n4/seed2", "GOLDEN_RAND_2", func(t testing.TB) *ioa.System {
+		sys := detectorSystem(t, 4, system.CrashOf(1))
+		sched.Random(sys, 2, sched.Options{MaxSteps: 600, Gate: sched.CrashesAfter(40, 20)})
+		return sys
+	}},
+	{"random/consensus/n3/seed7", "GOLDEN_RAND_CONS", func(t testing.TB) *ioa.System {
+		sys := consensusSystem(t, 3, system.CrashOf(0))
+		sched.Random(sys, 7, sched.Options{MaxSteps: 2000, Gate: sched.CrashesAfter(50, 0)})
+		return sys
+	}},
+	{"randprio/tracked/n4/seed9", "GOLDEN_PRIO_9", func(t testing.TB) *ioa.System {
+		sys := trackedSystem(t, 4, system.CrashOf(2))
+		sched.RandomPriority(sys, sched.NewPRNG(9), lifoPrio(sys),
+			sched.Options{MaxSteps: 600, Gate: sched.CrashesAfter(40, 20)})
+		return sys
+	}},
+	{"randprio/flat/n4/seed3", "GOLDEN_PRIO_3", func(t testing.TB) *ioa.System {
+		sys := detectorSystem(t, 4, system.NoFaults())
+		sched.RandomPriority(sys, sched.NewPRNG(3),
+			func(ioa.TaskRef, ioa.Action) int { return 0 },
+			sched.Options{MaxSteps: 400})
+		return sys
+	}},
+	{"drive/detector/n4", "GOLDEN_DRIVE", func(t testing.TB) *ioa.System {
+		sys := detectorSystem(t, 4, system.CrashOf(3))
+		sched.Drive(sys, sched.StrategyFunc(func(s *ioa.System, enabled []ioa.TaskRef, _ []ioa.Action) int {
+			return (s.Steps() * 7) % len(enabled)
+		}), sched.Options{MaxSteps: 500})
+		return sys
+	}},
+}
+
+// goldenChaosCases pin the chaos runner end to end: Execute is a pure
+// function of Run, so its trace hash is pinned per scheduler kind.
+var goldenChaosCases = []struct {
+	name string
+	want string
+	run  chaos.Run
+}{
+	{"chaos/rr/omega", "GOLDEN_CHAOS_RR", chaos.Run{
+		Target: chaos.DetectorTarget{Family: "FD-Ω"}, N: 3,
+		Plan:  system.CrashOf(1),
+		Gates: chaos.GateSpec{CrashAfter: 30, CrashGap: 10, StarveFrom: -1, StarveTo: -1},
+		Sched: chaos.SchedRoundRobin, Seed: 0, Steps: 500,
+	}},
+	{"chaos/random/omega", "GOLDEN_CHAOS_RAND", chaos.Run{
+		Target: chaos.DetectorTarget{Family: "FD-Ω"}, N: 3,
+		Plan:  system.CrashOf(1),
+		Gates: chaos.GateSpec{CrashAfter: 30, CrashGap: 10, StarveFrom: -1, StarveTo: -1},
+		Sched: chaos.SchedRandom, Seed: 5, Steps: 500,
+	}},
+	{"chaos/lifo/consensus", "GOLDEN_CHAOS_LIFO", chaos.Run{
+		Target: chaos.ConsensusTarget{Family: "FD-Ω"}, N: 3,
+		Plan:  system.CrashOf(0),
+		Gates: chaos.GateSpec{CrashAfter: 40, StarveFrom: -1, StarveTo: -1},
+		Sched: chaos.SchedLIFO, Seed: 11, Steps: 2500,
+	}},
+}
+
+// golden maps case name → pinned hash.  Captured with GOLDEN_PRINT=1 on the
+// tree before the fast path landed.  Two intentional PR-2 schedule changes
+// re-pinned entries: the math/rand → SplitMix64 port of sched.Random (every
+// random/* and chaos/random entry), and the CrashesAfter release-ratchet fix
+// (entries whose gated run had admitted a crash candidate without drawing
+// it: random/detector seeds 1–2 and randprio/tracked; note the others are
+// unchanged, confirming the fix moves only crash timing).
+var golden = map[string]string{
+	"rr/detector/n4/crash1":     "dd63a91c08d3bedc",
+	"rr/consensus/n3/crash0":    "a6092a52e4f8b90e",
+	"random/detector/n4/seed1":  "db5cafe89762a9ee",
+	"random/detector/n4/seed2":  "1cff674df96c79d2",
+	"random/consensus/n3/seed7": "865ff1a453765fa3",
+	"randprio/tracked/n4/seed9": "f9eaca36fc462e2d",
+	"randprio/flat/n4/seed3":    "acb29b708fcdfeed",
+	"drive/detector/n4":         "6953d8cefc141409",
+	"chaos/rr/omega":            "0d88dc593e3e362a",
+	"chaos/random/omega":        "78a5887bd9405e3a",
+	"chaos/lifo/consensus":      "8a8efa313f26d148",
+}
+
+func TestGoldenTraces(t *testing.T) {
+	print := os.Getenv("GOLDEN_PRINT") != ""
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := goldenHash(tc.run(t))
+			if print {
+				fmt.Printf("GOLDEN\t%q: %q,\n", tc.name, got)
+				return
+			}
+			if want := golden[tc.name]; got != want {
+				t.Errorf("schedule drift: hash = %s, pinned %s", got, want)
+			}
+		})
+	}
+	for _, tc := range goldenChaosCases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, err := chaos.Execute(tc.run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := sha256.New()
+			for _, a := range v.Trace {
+				h.Write([]byte(a.String()))
+				h.Write([]byte{'\n'})
+			}
+			got := hex.EncodeToString(h.Sum(nil))[:16]
+			if print {
+				fmt.Printf("GOLDEN\t%q: %q,\n", tc.name, got)
+				return
+			}
+			if want := golden[tc.name]; got != want {
+				t.Errorf("schedule drift: hash = %s, pinned %s", got, want)
+			}
+			if v.Err != nil {
+				t.Errorf("specification violated: %v", v.Err)
+			}
+		})
+	}
+}

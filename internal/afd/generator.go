@@ -67,6 +67,8 @@ type Generator struct {
 }
 
 var _ ioa.Automaton = (*Generator)(nil)
+var _ ioa.Signatured = (*Generator)(nil)
+var _ ioa.FireLocalized = (*Generator)(nil)
 
 // NewGenerator builds a generator automaton for the given output family.
 func NewGenerator(family string, n int, out OutputFunc) *Generator {
@@ -85,7 +87,21 @@ func NewGenerator(family string, n int, out OutputFunc) *Generator {
 func (g *Generator) Name() string { return "gen:" + g.family }
 
 // Accepts implements ioa.Automaton: crash actions only (crash exclusivity).
-func (g *Generator) Accepts(a ioa.Action) bool { return a.Kind == ioa.KindCrash }
+// The location-range check keeps Accepts aligned with SignatureKeys; an
+// out-of-range crash was already a no-op in Input.
+func (g *Generator) Accepts(a ioa.Action) bool {
+	return a.Kind == ioa.KindCrash && a.Name == ioa.NameCrash &&
+		a.Loc >= 0 && int(a.Loc) < g.st.N
+}
+
+// SignatureKeys implements ioa.Signatured: crashi for every location.
+func (g *Generator) SignatureKeys() []ioa.SigKey {
+	keys := make([]ioa.SigKey, g.st.N)
+	for i := 0; i < g.st.N; i++ {
+		keys[i] = ioa.KeyOf(ioa.Crash(ioa.Loc(i)))
+	}
+	return keys
+}
 
 // Input implements ioa.Automaton: crashi adds i to the crash set.
 func (g *Generator) Input(a ioa.Action) {
@@ -111,6 +127,13 @@ func (g *Generator) Enabled(t int) (ioa.Action, bool) {
 
 // Fire implements ioa.Automaton.
 func (g *Generator) Fire(a ioa.Action) { g.st.Emitted[a.Loc]++ }
+
+// FireTouches implements ioa.FireLocalized: firing the output at location i
+// only bumps Emitted[i], and every OutputFunc in the zoo reads only its own
+// location's emission counter (the crash set, which all locations' payloads
+// depend on, changes on Input, never on Fire).  So the only task whose
+// enabled action can differ after Fire is the one that fired.
+func (g *Generator) FireTouches(a ioa.Action) int { return int(a.Loc) }
 
 // Clone implements ioa.Automaton.
 func (g *Generator) Clone() ioa.Automaton {

@@ -20,12 +20,12 @@
 // bound that still fails — and emitted as a replayable trace.Artifact.
 //
 // Replay determinism: every source of nondeterminism in a run is a named
-// field of Run — the scheduler kind, its integer seed (driving either the
-// Go-1-stable math/rand stream of sched.Random or the sched.NewPRNG
-// SplitMix64 stream), the fault plan, and the gate parameters.  Gates are
-// pure functions of (step, observed actions) and are freshly constructed
-// per run, so Execute(run) is a pure function: same Run, same trace, same
-// verdict.  The only deliberately unfair scheduler (SchedLIFO) is paired
+// field of Run — the scheduler kind, its integer seed (driving the
+// SplitMix64 sched.PRNG stream for every random scheduler since PR 2 ported
+// sched.Random off math/rand), the fault plan, and the gate parameters.
+// Gates are pure functions of (step, task, action) and are freshly
+// constructed per run, so Execute(run) is a pure function: same Run, same
+// trace, same verdict.  The only deliberately unfair scheduler (SchedLIFO) is paired
 // with safety-only checking, mirroring the paper's split between clauses
 // refutable on arbitrary prefixes and liveness clauses that need fairness.
 package chaos

@@ -135,19 +135,29 @@ func (a Action) String() string {
 	}
 }
 
+// Canonical action-family names used by the Crash/Send/Receive constructors.
+// Automata that route by SigKey match on these, so actions of those kinds
+// must be built through the constructors (every decoder and generator in the
+// repository does).
+const (
+	NameCrash   = "crash"
+	NameSend    = "send"
+	NameReceive = "receive"
+)
+
 // Crash returns the crashi action for location i.
 func Crash(i Loc) Action {
-	return Action{Kind: KindCrash, Name: "crash", Loc: i, Peer: NoLoc}
+	return Action{Kind: KindCrash, Name: NameCrash, Loc: i, Peer: NoLoc}
 }
 
 // Send returns the action send(m, to)from.
 func Send(from, to Loc, m string) Action {
-	return Action{Kind: KindSend, Name: "send", Loc: from, Peer: to, Payload: m}
+	return Action{Kind: KindSend, Name: NameSend, Loc: from, Peer: to, Payload: m}
 }
 
 // Receive returns the action receive(m, from)to.
 func Receive(to, from Loc, m string) Action {
-	return Action{Kind: KindReceive, Name: "receive", Loc: to, Peer: from, Payload: m}
+	return Action{Kind: KindReceive, Name: NameReceive, Loc: to, Peer: from, Payload: m}
 }
 
 // FDOutput returns a failure-detector output event of family name at location

@@ -19,7 +19,12 @@ import "fmt"
 //   - Input must handle every accepted action in every state (input actions
 //     are enabled in all states, Section 2.1).
 //   - Enabled(t) reports the unique action currently enabled in task t, if
-//     any; it must not mutate state.
+//     any; it must not mutate state, and it must be a function of the
+//     receiver's own state only (never of shared or global state).  The
+//     System's incremental ready-set relies on this: after an event it
+//     re-polls only the automata whose Fire or Input ran.
+//   - Automata MAY additionally implement Signatured to declare their input
+//     signature as routing keys; see the Signatured contract.
 //   - Fire(a) applies the effect of locally controlled action a; callers only
 //     pass actions previously returned by Enabled in the current state.
 //   - Clone must return a deep copy sharing no mutable state.

@@ -1,0 +1,75 @@
+package ioa
+
+// SigKey is the routing key of an action: every field that automata may
+// condition acceptance on, except the payload.  Two actions with equal keys
+// are delivered to the same set of automata, which is what lets a System
+// precompute an action→acceptors index at composition time instead of
+// querying every automaton's Accepts on every event.
+//
+// Payload is deliberately excluded: an automaton whose Accepts inspects the
+// payload still works (the index routes by key and re-checks Accepts on the
+// candidates), it just cannot narrow its routing below the key granularity.
+type SigKey struct {
+	Kind Kind
+	Name string
+	Loc  Loc
+	Peer Loc
+}
+
+// KeyOf returns the routing key of a.
+func KeyOf(a Action) SigKey {
+	return SigKey{Kind: a.Kind, Name: a.Name, Loc: a.Loc, Peer: a.Peer}
+}
+
+// Signatured is the optional fast-path interface: an automaton that knows
+// its input signature declares it as routing keys, and the System delivers
+// only actions with a declared key to it (still filtered through Accepts, so
+// declaring a superset is safe).
+//
+// Contract: SignatureKeys must return a key set covering every action the
+// automaton's Accepts can ever return true for — if Accepts(a) holds then
+// KeyOf(a) must be in the returned set.  An automaton violating this silently
+// stops receiving the undeclared inputs.  Returning an empty (or nil) slice
+// declares "no inputs at all" (e.g. the crash automaton).
+//
+// Automata that do not implement Signatured are consulted on every action,
+// exactly as before the routing index existed.
+type Signatured interface {
+	Automaton
+	// SignatureKeys returns the routing keys of the automaton's input
+	// signature.  It is called once, at composition time; the result must
+	// not depend on mutable state (Accepts is a pure function of the
+	// action, Section 2.1, so the signature is fixed).
+	SignatureKeys() []SigKey
+}
+
+// KeysOf is a convenience for building signature key lists from sample
+// actions (payloads are ignored).
+func KeysOf(acts ...Action) []SigKey {
+	keys := make([]SigKey, len(acts))
+	for i, a := range acts {
+		keys[i] = KeyOf(a)
+	}
+	return keys
+}
+
+// FireLocalized is the optional fast-path interface for multi-task automata
+// whose Fire effect is task-local.  After such an automaton fires, the
+// System re-polls only the touched task instead of all of the automaton's
+// tasks, making the per-event ready-set maintenance O(1) in the automaton's
+// task count (the difference between O(n) and O(1) per event for the n-task
+// detector generators).
+//
+// Contract: when FireTouches(a) returns t ≥ 0, Fire(a) must leave the
+// enabledness AND the enabled action of every task other than t unchanged.
+// Return -1 when the effect is not task-local (the System falls back to
+// re-polling every task).  Inputs are unaffected: a consumed input always
+// re-polls the whole accepting automaton, so state shared across tasks (e.g.
+// a crash set that changes every task's output payload) stays exact as long
+// as it only changes on Input.
+type FireLocalized interface {
+	Automaton
+	// FireTouches returns the single task whose enabled action may differ
+	// after Fire(a), or -1 if firing a may affect several tasks.
+	FireTouches(a Action) int
+}

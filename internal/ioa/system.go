@@ -2,6 +2,7 @@ package ioa
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -14,12 +15,35 @@ import (
 // The System records the trace of external events as they occur.  Internal
 // actions (KindInternal) are performed but not traced, which implements the
 // paper's hiding operator for actions the owner declares internal.
+//
+// Two structures make stepping O(affected) instead of O(composition):
+//
+//   - an action-routing index, built at composition time: automata that
+//     implement Signatured are delivered only actions whose SigKey they
+//     declared; the rest land on a wildcard list consulted for every action.
+//     Candidates are still filtered through Accepts, so routing never
+//     changes which automata receive an action — only how they are found.
+//   - an incremental ready-set: a bitset over the flattened task list with
+//     the enabled action cached per task.  An event can only change the
+//     enabledness of the firing automaton and the acceptors it was delivered
+//     to (Enabled is a function of the automaton's own state, see the
+//     Automaton contract), so Apply re-polls exactly those automata's tasks.
+//     Schedulers iterate ready tasks via NextReady instead of rescanning
+//     Tasks(); iteration order is ascending task index, which matches the
+//     pre-index full-scan order, so schedules are unchanged.
 type System struct {
-	autos  []Automaton
-	tasks  []TaskRef         // flattened task list, fixed at construction
-	trace  []Action          // external events in order of occurrence
-	steps  int               // total events fired (including internal)
-	hidden func(Action) bool // reclassified-as-internal predicate, may be nil
+	autos    []Automaton
+	tasks    []TaskRef         // flattened task list, fixed at construction
+	taskBase []int             // automaton index -> first flattened task index; len(autos)+1 entries
+	routes   map[SigKey][]int  // routing index: key -> ascending automaton indices
+	wildcard []int             // ascending indices of automata without SignatureKeys
+	fireLoc  []FireLocalized   // cached FireLocalized view per automaton, nil entries otherwise
+	ready    []uint64          // bitset over flattened task indices
+	readyAct []Action          // cached enabled action per ready task
+	dirty    []int             // scratch: automata touched by the current Apply
+	trace    []Action          // external events in order of occurrence
+	steps    int               // total events fired (including internal)
+	hidden   func(Action) bool // reclassified-as-internal predicate, may be nil
 }
 
 // NewSystem composes the given automata.  It returns an error if two automata
@@ -32,11 +56,30 @@ func NewSystem(autos ...Automaton) (*System, error) {
 		}
 		seen[a.Name()] = true
 	}
-	s := &System{autos: autos}
+	s := &System{autos: autos, routes: make(map[SigKey][]int)}
+	s.taskBase = make([]int, len(autos)+1)
+	s.fireLoc = make([]FireLocalized, len(autos))
 	for ai, a := range autos {
+		s.taskBase[ai] = len(s.tasks)
 		for t := 0; t < a.NumTasks(); t++ {
 			s.tasks = append(s.tasks, TaskRef{Auto: ai, Task: t})
 		}
+		if sig, ok := a.(Signatured); ok {
+			for _, k := range sig.SignatureKeys() {
+				s.routes[k] = append(s.routes[k], ai)
+			}
+		} else {
+			s.wildcard = append(s.wildcard, ai)
+		}
+		if fl, ok := a.(FireLocalized); ok {
+			s.fireLoc[ai] = fl
+		}
+	}
+	s.taskBase[len(autos)] = len(s.tasks)
+	s.ready = make([]uint64, (len(s.tasks)+63)/64)
+	s.readyAct = make([]Action, len(s.tasks))
+	for ai := range autos {
+		s.repoll(ai)
 	}
 	return s, nil
 }
@@ -68,6 +111,10 @@ func (s *System) Automaton(name string) Automaton {
 // slice is owned by the System and must not be modified.
 func (s *System) Tasks() []TaskRef { return s.tasks }
 
+// TaskAt returns the task with the given flattened index (the index NextReady
+// iterates over; tasks of one automaton are contiguous).
+func (s *System) TaskAt(idx int) TaskRef { return s.tasks[idx] }
+
 // TaskLabel renders tr as "automaton/task-label".
 func (s *System) TaskLabel(tr TaskRef) string {
 	a := s.autos[tr.Auto]
@@ -77,6 +124,67 @@ func (s *System) TaskLabel(tr TaskRef) string {
 // Enabled returns the action enabled in task tr, if any.
 func (s *System) Enabled(tr TaskRef) (Action, bool) {
 	return s.autos[tr.Auto].Enabled(tr.Task)
+}
+
+// repoll refreshes the ready-set entries of every task of automaton ai.
+func (s *System) repoll(ai int) {
+	a := s.autos[ai]
+	for idx := s.taskBase[ai]; idx < s.taskBase[ai+1]; idx++ {
+		s.repollOne(a, ai, idx)
+	}
+}
+
+// repollOne refreshes the ready-set entry of the single flattened task idx,
+// which must belong to automaton ai.
+func (s *System) repollOne(a Automaton, ai, idx int) {
+	if act, ok := a.Enabled(idx - s.taskBase[ai]); ok {
+		s.ready[idx>>6] |= 1 << (uint(idx) & 63)
+		s.readyAct[idx] = act
+	} else {
+		s.ready[idx>>6] &^= 1 << (uint(idx) & 63)
+		s.readyAct[idx] = Action{}
+	}
+}
+
+// NextReady returns the smallest ready (enabled) task index greater than
+// after, or ok=false when none remains.  Pass -1 to start a scan.  The
+// ready-set is maintained incrementally by Apply, so iterating with
+// NextReady while firing is equivalent to polling every task of Tasks() in
+// order against the current state.
+func (s *System) NextReady(after int) (int, bool) {
+	idx := after + 1
+	if idx < 0 {
+		idx = 0
+	}
+	for w := idx >> 6; w < len(s.ready); w++ {
+		word := s.ready[w]
+		if w == idx>>6 {
+			word &= ^uint64(0) << (uint(idx) & 63)
+		}
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word), true
+		}
+	}
+	return 0, false
+}
+
+// TaskReady reports whether the task with flattened index idx is enabled.
+func (s *System) TaskReady(idx int) bool {
+	return s.ready[idx>>6]&(1<<(uint(idx)&63)) != 0
+}
+
+// ReadyAction returns the cached enabled action of ready task idx.  It is
+// only meaningful while TaskReady(idx) holds (callers obtain idx from
+// NextReady and must not hold it across an Apply).
+func (s *System) ReadyAction(idx int) Action { return s.readyAct[idx] }
+
+// NumReady returns the number of currently enabled tasks.
+func (s *System) NumReady() int {
+	n := 0
+	for _, w := range s.ready {
+		n += bits.OnesCount64(w)
+	}
+	return n
 }
 
 // Step fires the action enabled in task tr, if any, delivering it to every
@@ -98,28 +206,68 @@ func (s *System) Step(tr TaskRef) (Action, bool) {
 // Section 8) that feed externally sourced events — e.g. failure-detector
 // outputs taken from a fixed trace tD — by passing owner = -1, in which case
 // no Fire is applied and the action is delivered to acceptors only.
+//
+// Delivery candidates come from the routing index (declared-key automata for
+// KeyOf(act), merged with the wildcard list in ascending automaton order —
+// the same visit order as the pre-index scan over all automata) and are
+// filtered through Accepts, so the delivered-to set is exactly the set the
+// full scan would find.
 func (s *System) Apply(owner int, act Action) {
+	s.dirty = s.dirty[:0]
 	if owner >= 0 {
 		s.autos[owner].Fire(act)
+		if fl := s.fireLoc[owner]; fl != nil {
+			// Task-local fire: re-poll just the touched task now (the
+			// acceptors' inputs cannot change the owner's state).
+			if t := fl.FireTouches(act); t >= 0 {
+				s.repollOne(s.autos[owner], owner, s.taskBase[owner]+t)
+			} else {
+				s.dirty = append(s.dirty, owner)
+			}
+		} else {
+			s.dirty = append(s.dirty, owner)
+		}
 	}
-	for i, a := range s.autos {
-		if i == owner {
+	keyed := s.routes[KeyOf(act)]
+	i, j := 0, 0
+	for i < len(keyed) || j < len(s.wildcard) {
+		var ai int
+		switch {
+		case i >= len(keyed):
+			ai = s.wildcard[j]
+			j++
+		case j >= len(s.wildcard) || keyed[i] < s.wildcard[j]:
+			ai = keyed[i]
+			i++
+		default:
+			ai = s.wildcard[j]
+			j++
+		}
+		if ai == owner {
 			continue
 		}
-		if a.Accepts(act) {
+		if a := s.autos[ai]; a.Accepts(act) {
 			a.Input(act)
+			s.dirty = append(s.dirty, ai)
 		}
 	}
 	s.steps++
 	if act.Kind != KindInternal && (s.hidden == nil || !s.hidden(act)) {
 		s.trace = append(s.trace, act)
 	}
+	// Only the owner and the automata that consumed the input can have
+	// changed state, hence enabledness (Automaton contract: Enabled depends
+	// on the receiver's own state only).
+	for _, ai := range s.dirty {
+		s.repoll(ai)
+	}
 }
 
 // Hide reclassifies matching actions as internal to the composition (the
 // hiding operator of Section 2.3): they still synchronize all component
 // automata but no longer appear in the trace.  Hiding composes: multiple
-// calls hide the union.
+// calls hide the union.  Hiding never affects routing or the ready-set —
+// hidden actions are delivered exactly like visible ones.
 func (s *System) Hide(pred func(Action) bool) {
 	prev := s.hidden
 	if prev == nil {
@@ -138,26 +286,44 @@ func (s *System) Steps() int { return s.steps }
 
 // Quiescent reports whether no task of the composition is enabled.
 func (s *System) Quiescent() bool {
-	for _, tr := range s.tasks {
-		if _, ok := s.Enabled(tr); ok {
+	for _, w := range s.ready {
+		if w != 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// Clone returns a deep copy of the system, including its automata and trace.
-func (s *System) Clone() *System {
+// cloneInto copies the per-execution state into a System sharing the
+// immutable composition structure (tasks, taskBase, routes, wildcard).
+func (s *System) cloneInto() *System {
 	autos := make([]Automaton, len(s.autos))
 	for i, a := range s.autos {
 		autos[i] = a.Clone()
 	}
 	c := &System{
-		autos:  autos,
-		tasks:  s.tasks, // immutable after construction
-		steps:  s.steps,
-		hidden: s.hidden,
+		autos:    autos,
+		tasks:    s.tasks,
+		taskBase: s.taskBase,
+		routes:   s.routes,
+		wildcard: s.wildcard,
+		steps:    s.steps,
+		hidden:   s.hidden,
 	}
+	c.fireLoc = make([]FireLocalized, len(autos))
+	for i, a := range autos {
+		if fl, ok := a.(FireLocalized); ok {
+			c.fireLoc[i] = fl
+		}
+	}
+	c.ready = append([]uint64(nil), s.ready...)
+	c.readyAct = append([]Action(nil), s.readyAct...)
+	return c
+}
+
+// Clone returns a deep copy of the system, including its automata and trace.
+func (s *System) Clone() *System {
+	c := s.cloneInto()
 	c.trace = append([]Action(nil), s.trace...)
 	return c
 }
@@ -165,13 +331,7 @@ func (s *System) Clone() *System {
 // CloneBare returns a deep copy of the system with an empty trace.  Drivers
 // that maintain their own event bookkeeping (the execution tree) use this to
 // avoid O(trace) copies per node.
-func (s *System) CloneBare() *System {
-	autos := make([]Automaton, len(s.autos))
-	for i, a := range s.autos {
-		autos[i] = a.Clone()
-	}
-	return &System{autos: autos, tasks: s.tasks, steps: s.steps, hidden: s.hidden}
-}
+func (s *System) CloneBare() *System { return s.cloneInto() }
 
 // Encode returns a canonical encoding of the composed state: the automaton
 // encodings joined in composition order.  Two systems with equal Encode are

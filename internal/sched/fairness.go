@@ -75,23 +75,26 @@ func (a *FairnessAudit) Err() error {
 // it returns the run result and the audit verdict.  Round-robin passes the
 // audit by construction; the function exists to validate the scheduler
 // itself and to provide a template for auditing custom strategies.
+//
+// Unlike RoundRobin it walks every task index (not just the ready-set):
+// observing a task disabled is a fair turn the audit must record.
 func AuditedRoundRobin(sys *ioa.System, opts Options) (Result, error) {
 	audit := NewFairnessAudit(sys.Tasks(), 0)
 	limit := opts.maxSteps()
 	tasks := sys.Tasks()
-	idleCycles := 0
 	for sys.Steps() < limit {
-		fired := false
-		for _, tr := range tasks {
+		fired, gated := false, false
+		for idx, tr := range tasks {
 			if sys.Steps() >= limit {
 				break
 			}
-			act, ok := sys.Enabled(tr)
-			if !ok {
+			if !sys.TaskReady(idx) {
 				audit.Observe(tr) // a disabled turn is a fair turn
 				continue
 			}
+			act := sys.ReadyAction(idx)
 			if opts.Gate != nil && !opts.Gate(sys.Steps(), tr, act) {
+				gated = true
 				continue
 			}
 			sys.Apply(tr.Auto, act)
@@ -103,12 +106,7 @@ func AuditedRoundRobin(sys *ioa.System, opts Options) (Result, error) {
 			}
 		}
 		if !fired {
-			idleCycles++
-			if idleCycles >= 2 {
-				return Result{Steps: sys.Steps(), Reason: StopQuiescent}, audit.Err()
-			}
-		} else {
-			idleCycles = 0
+			return stalled(sys, gated), audit.Err()
 		}
 	}
 	return Result{Steps: sys.Steps(), Reason: StopLimit}, audit.Err()

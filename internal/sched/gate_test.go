@@ -1,17 +1,18 @@
 package sched
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/ioa"
 	"repro/internal/system"
 )
 
-// TestCrashesAfterSharedGateHazard demonstrates why CrashesAfter must be
-// constructed once per run: the gate's release counter survives the first
-// run, so a second run sharing the gate value sees its first crash held to
-// the *second* release threshold.
-func TestCrashesAfterSharedGateHazard(t *testing.T) {
+// TestCrashesAfterSharedGateSafe: CrashesAfter is a pure function since the
+// PR-2 fix, so sharing one gate value between runs is harmless.  The old
+// stateful gate carried its release counter from the first run into the
+// second, which silently suppressed the second run's crashes.
+func TestCrashesAfterSharedGateSafe(t *testing.T) {
 	countCrashes := func(gate Gate) int {
 		sys := build(t, system.CrashOf(0))
 		RoundRobin(sys, Options{MaxSteps: 50, Gate: gate})
@@ -23,24 +24,79 @@ func TestCrashesAfterSharedGateHazard(t *testing.T) {
 		}
 		return n
 	}
-
-	// Fresh gate per run: the crash releases at step >= 1 in both runs.
-	if got := countCrashes(CrashesAfter(1, 40)); got != 1 {
-		t.Fatalf("fresh gate run 1: %d crashes, want 1", got)
-	}
-	if got := countCrashes(CrashesAfter(1, 40)); got != 1 {
-		t.Fatalf("fresh gate run 2: %d crashes, want 1", got)
-	}
-
-	// Shared gate: run 1 consumes release 0; run 2's crash now needs
-	// step >= 1 + 1*40 = 41, beyond anything its short run reaches, so the
-	// crash silently never fires.
 	shared := CrashesAfter(1, 40)
 	if got := countCrashes(shared); got != 1 {
 		t.Fatalf("shared gate run 1: %d crashes, want 1", got)
 	}
-	if got := countCrashes(shared); got != 0 {
-		t.Fatalf("shared gate run 2: %d crashes, want 0 (stateful hazard)", got)
+	if got := countCrashes(shared); got != 1 {
+		t.Fatalf("shared gate run 2: %d crashes, want 1 (gate must be stateless)", got)
+	}
+}
+
+// ticker is an always-enabled single-task automaton with no inputs; it gives
+// the random schedulers a perpetual non-crash candidate so gate behavior can
+// be observed over long runs.
+type ticker struct {
+	id    ioa.Loc
+	fired int
+}
+
+var _ ioa.Automaton = (*ticker)(nil)
+var _ ioa.Signatured = (*ticker)(nil)
+
+func (k *ticker) Name() string                { return fmt.Sprintf("ticker[%v]", k.id) }
+func (k *ticker) Accepts(ioa.Action) bool     { return false }
+func (k *ticker) SignatureKeys() []ioa.SigKey { return nil }
+func (k *ticker) Input(ioa.Action)            {}
+func (k *ticker) NumTasks() int               { return 1 }
+func (k *ticker) TaskLabel(int) string        { return "tick" }
+func (k *ticker) Fire(ioa.Action)             { k.fired++ }
+func (k *ticker) Clone() ioa.Automaton        { c := *k; return &c }
+func (k *ticker) Encode() string              { return "T" }
+func (k *ticker) Enabled(int) (ioa.Action, bool) {
+	return ioa.EnvOutput("tick", k.id, ""), true
+}
+
+// TestCrashesAfterConsultIdempotent is the regression test for the PR-2
+// release-ratchet bug: Random consults the gate for every candidate it
+// collects, and the old stateful CrashesAfter advanced its release counter
+// on each *admission*, so a crash that was admitted into the candidate set
+// but not drawn postponed the next release by gap.  With three always-ready
+// tickers competing, crashes drifted arbitrarily far past their thresholds
+// (hundreds of steps in practice).  The pure gate releases the k-th crash
+// at exactly step + k*gap no matter how often it is consulted, so under a
+// uniform pick among four ready tasks the crash must land within a short
+// geometric tail of its threshold.
+func TestCrashesAfterConsultIdempotent(t *testing.T) {
+	const after, gap, slack = 20, 10, 80
+	for seed := int64(0); seed < 10; seed++ {
+		sys, err := ioa.NewSystem(
+			&ticker{id: 0}, &ticker{id: 1}, &ticker{id: 2},
+			system.NewCrash(system.CrashOf(0, 1)),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Random(sys, seed, Options{MaxSteps: 300, Gate: CrashesAfter(after, gap)})
+		var crashAt []int
+		for i, a := range sys.Trace() {
+			if a.Kind == ioa.KindCrash {
+				crashAt = append(crashAt, i)
+			}
+		}
+		if len(crashAt) != 2 {
+			t.Fatalf("seed %d: %d crashes fired, want 2", seed, len(crashAt))
+		}
+		for k, at := range crashAt {
+			lo := after + k*gap
+			if at < lo {
+				t.Fatalf("seed %d: crash %d at step %d, before threshold %d", seed, k, at, lo)
+			}
+			if at > lo+slack {
+				t.Fatalf("seed %d: crash %d at step %d, release ratchet? threshold %d",
+					seed, k, at, lo)
+			}
+		}
 	}
 }
 

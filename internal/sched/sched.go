@@ -7,6 +7,13 @@
 // executions, which is what all specification checkers in this repository
 // consume.
 //
+// All schedulers draw candidates from the System's incremental ready-set
+// (System.NextReady) instead of rescanning the full task list.  The ready-set
+// iterates in ascending flattened-task-index order — the same order the
+// pre-fast-path full scans visited tasks — so schedules are byte-identical
+// to the scan-based implementations (see the repository root's golden-trace
+// suite and this package's TestFastPathMatchesReferenceScan).
+//
 // The crash automaton is special: per Section 4.4 *every* sequence over Iˆ is
 // one of its fair traces, so a scheduler may delay enabled crash actions
 // arbitrarily without violating fairness.  Options.Gate exploits this to
@@ -14,8 +21,6 @@
 package sched
 
 import (
-	"math/rand"
-
 	"repro/internal/ioa"
 )
 
@@ -24,8 +29,21 @@ type StopReason string
 
 // Stop reasons.
 const (
-	StopLimit     StopReason = "step-limit"
+	// StopLimit: the step bound was reached.
+	StopLimit StopReason = "step-limit"
+	// StopQuiescent: no task of the composition is enabled; the system
+	// cannot move regardless of gating.
 	StopQuiescent StopReason = "quiescent"
+	// StopGated: tasks remain enabled, but the run's Gate vetoed every one
+	// of them for a full scan at a frozen step count, so no further scan can
+	// fire anything (gates are functions of (step, task, action) plus state
+	// they only advance when admitting).  Distinguished from StopQuiescent
+	// since PR 2: previously RoundRobin reported quiescent after two idle
+	// cycles and Random/RandomPriority after one empty candidate scan, both
+	// conflating "nothing enabled" with "everything enabled is gated".
+	StopGated StopReason = "gated"
+	// StopCondition: the Options.Stop predicate (or a Drive strategy)
+	// ended the run.
 	StopCondition StopReason = "condition"
 )
 
@@ -58,6 +76,8 @@ type Options struct {
 	// ends the run.
 	Stop func(sys *ioa.System, last ioa.Action) bool
 	// Gate, when non-nil, may veto scheduling an enabled action this turn.
+	// Drive ignores it: a Strategy sees the full enabled set and is its own
+	// adversary.
 	Gate Gate
 }
 
@@ -74,52 +94,63 @@ type Result struct {
 	Reason StopReason
 }
 
+// Stalled reports whether the run ended because nothing could fire —
+// genuinely quiescent or fully gated.  Callers that previously compared
+// against StopQuiescent to mean "the run ran out of work" should use this.
+func (r Result) Stalled() bool {
+	return r.Reason == StopQuiescent || r.Reason == StopGated
+}
+
 // CrashesAfter returns a Gate that blocks every crash action until the
 // system has performed at least step events, releasing the k-th planned
-// crash only after step + k*gap further events.  With gap = 0 every planned
-// crash is released as soon as the step threshold is reached, so the whole
-// fault pattern can fire back-to-back.
+// crash once step + k*gap events have been performed.  With gap = 0 every
+// planned crash is released as soon as the step threshold is reached, so the
+// whole fault pattern can fire back-to-back.
 //
-// The returned gate is STATEFUL: it counts how many crashes it has released.
-// Construct a fresh gate per run — sharing one gate value between two runs
-// makes the second run inherit the first run's release count, silently
-// postponing its crashes by released*gap extra steps (see
-// TestCrashesAfterSharedGateHazard).  Note also that under schedulers which
-// consult the gate without necessarily firing the admitted action in the
-// same step (Random builds a candidate set first), the release counter can
-// advance faster than crashes actually fire; this only ever releases
-// *earlier*, never suppresses, so the gate remains delay-only.
+// The gate is a pure function of the step count and the crash task's index:
+// the crash automaton sequences its tasks (task k enables only once tasks
+// 0..k-1 have fired), so tr.Task is exactly the number of crashes already
+// performed.  It used to count *releases* in a closure variable instead,
+// which had two bugs, both fixed in PR 2: (1) a scheduler that consults the
+// gate while collecting candidates (Random, RandomPriority) ratcheted the
+// counter on crashes it then did not draw, postponing the next release by
+// gap for every unfired admission — crashes drifted arbitrarily far past
+// their thresholds and liveness checks over bounded prefixes flaked; (2)
+// sharing one gate value between two runs silently carried the first run's
+// release count into the second.  The pure gate is safe to share and
+// consult any number of times (see TestCrashesAfterConsultIdempotent and
+// TestCrashesAfterSharedGateSafe).
 func CrashesAfter(step, gap int) Gate {
-	released := 0
-	return func(now int, _ ioa.TaskRef, act ioa.Action) bool {
+	return func(now int, tr ioa.TaskRef, act ioa.Action) bool {
 		if act.Kind != ioa.KindCrash {
 			return true
 		}
-		if now >= step+released*gap {
-			released++
-			return true
-		}
-		return false
+		return now >= step+tr.Task*gap
 	}
 }
 
+// stalled classifies an idle scan: StopGated when the gate was the only
+// thing holding enabled work back, StopQuiescent otherwise.
+func stalled(sys *ioa.System, gated bool) Result {
+	if gated {
+		return Result{Steps: sys.Steps(), Reason: StopGated}
+	}
+	return Result{Steps: sys.Steps(), Reason: StopQuiescent}
+}
+
 // RoundRobin runs sys under a fair round-robin task schedule until the step
-// limit, quiescence, or the stop condition.
+// limit, quiescence (or a fully gated ready-set), or the stop condition.
 func RoundRobin(sys *ioa.System, opts Options) Result {
 	limit := opts.maxSteps()
-	tasks := sys.Tasks()
-	idleCycles := 0
 	for sys.Steps() < limit {
-		fired := false
-		for _, tr := range tasks {
+		fired, gated := false, false
+		for idx, ok := sys.NextReady(-1); ok; idx, ok = sys.NextReady(idx) {
 			if sys.Steps() >= limit {
 				break
 			}
-			act, ok := sys.Enabled(tr)
-			if !ok {
-				continue
-			}
+			tr, act := sys.TaskAt(idx), sys.ReadyAction(idx)
 			if opts.Gate != nil && !opts.Gate(sys.Steps(), tr, act) {
+				gated = true
 				continue
 			}
 			sys.Apply(tr.Auto, act)
@@ -129,15 +160,10 @@ func RoundRobin(sys *ioa.System, opts Options) Result {
 			}
 		}
 		if !fired {
-			idleCycles++
-			// One fully idle cycle means nothing is enabled (or all
-			// enabled actions are gated); a second confirms no gate
-			// released anything based on the step count.
-			if idleCycles >= 2 {
-				return Result{Steps: sys.Steps(), Reason: StopQuiescent}
-			}
-		} else {
-			idleCycles = 0
+			// The scan admitted nothing at a frozen step count; repeating
+			// it cannot differ (gates only advance state when admitting),
+			// so one idle scan is conclusive.
+			return stalled(sys, gated)
 		}
 	}
 	return Result{Steps: sys.Steps(), Reason: StopLimit}
@@ -152,33 +178,14 @@ type choice struct {
 // Random runs sys picking uniformly among enabled (and un-gated) tasks.
 // Random schedules are fair with probability 1 over infinite runs; over the
 // bounded prefix they provide schedule diversity for property tests.
+//
+// The uniform choice is drawn from the cross-release-stable SplitMix64
+// sched.PRNG (the same stream RandomPriority and the chaos replay artifacts
+// use), NOT from math/rand: a (seed, gates, plan) triple must replay to the
+// identical execution on every Go release.  PR 2 ported Random off
+// math/rand, which re-pinned every seed-keyed expectation.
 func Random(sys *ioa.System, seed int64, opts Options) Result {
-	rng := rand.New(rand.NewSource(seed))
-	limit := opts.maxSteps()
-	tasks := sys.Tasks()
-	ready := make([]choice, 0, len(tasks))
-	for sys.Steps() < limit {
-		ready = ready[:0]
-		for _, tr := range tasks {
-			act, ok := sys.Enabled(tr)
-			if !ok {
-				continue
-			}
-			if opts.Gate != nil && !opts.Gate(sys.Steps(), tr, act) {
-				continue
-			}
-			ready = append(ready, choice{tr, act})
-		}
-		if len(ready) == 0 {
-			return Result{Steps: sys.Steps(), Reason: StopQuiescent}
-		}
-		c := ready[rng.Intn(len(ready))]
-		sys.Apply(c.tr.Auto, c.act)
-		if opts.Stop != nil && opts.Stop(sys, c.act) {
-			return Result{Steps: sys.Steps(), Reason: StopCondition}
-		}
-	}
-	return Result{Steps: sys.Steps(), Reason: StopLimit}
+	return randomCore(sys, NewPRNG(seed), nil, opts)
 }
 
 // Priority ranks a ready (task, action) pair; RandomPriority only fires
@@ -194,18 +201,31 @@ type Priority func(tr ioa.TaskRef, act ioa.Action) int
 // need not be fair, so pair it with safety-only checkers unless the
 // priority is bounded-skew).
 func RandomPriority(sys *ioa.System, rng PRNG, prio Priority, opts Options) Result {
+	if prio == nil {
+		prio = func(ioa.TaskRef, ioa.Action) int { return 0 }
+	}
+	return randomCore(sys, rng, prio, opts)
+}
+
+// randomCore is the shared draw loop: collect the (maximal-priority, when
+// prio is non-nil) un-gated ready candidates in task order, then fire one
+// uniformly.  Candidate order matches the old full-scan order, so the PRNG
+// consumption — hence the schedule — is unchanged by the fast path.
+func randomCore(sys *ioa.System, rng PRNG, prio Priority, opts Options) Result {
 	limit := opts.maxSteps()
-	tasks := sys.Tasks()
-	ready := make([]choice, 0, len(tasks))
+	ready := make([]choice, 0, 64)
 	for sys.Steps() < limit {
 		ready = ready[:0]
+		gated := false
 		best := 0
-		for _, tr := range tasks {
-			act, ok := sys.Enabled(tr)
-			if !ok {
+		for idx, ok := sys.NextReady(-1); ok; idx, ok = sys.NextReady(idx) {
+			tr, act := sys.TaskAt(idx), sys.ReadyAction(idx)
+			if opts.Gate != nil && !opts.Gate(sys.Steps(), tr, act) {
+				gated = true
 				continue
 			}
-			if opts.Gate != nil && !opts.Gate(sys.Steps(), tr, act) {
+			if prio == nil {
+				ready = append(ready, choice{tr, act})
 				continue
 			}
 			p := prio(tr, act)
@@ -218,7 +238,7 @@ func RandomPriority(sys *ioa.System, rng PRNG, prio Priority, opts Options) Resu
 			}
 		}
 		if len(ready) == 0 {
-			return Result{Steps: sys.Steps(), Reason: StopQuiescent}
+			return stalled(sys, gated)
 		}
 		c := ready[rng.Intn(len(ready))]
 		sys.Apply(c.tr.Auto, c.act)
@@ -246,19 +266,17 @@ func (f StrategyFunc) Choose(sys *ioa.System, enabled []ioa.TaskRef, acts []ioa.
 }
 
 // Drive runs sys under the given strategy (which need not be fair) until the
-// step limit, quiescence, or the strategy halts.
+// step limit, quiescence, or the strategy halts.  Options.Gate is ignored:
+// the strategy sees the full enabled set.
 func Drive(sys *ioa.System, s Strategy, opts Options) Result {
 	limit := opts.maxSteps()
-	tasks := sys.Tasks()
-	enabled := make([]ioa.TaskRef, 0, len(tasks))
-	acts := make([]ioa.Action, 0, len(tasks))
+	enabled := make([]ioa.TaskRef, 0, 64)
+	acts := make([]ioa.Action, 0, 64)
 	for sys.Steps() < limit {
 		enabled, acts = enabled[:0], acts[:0]
-		for _, tr := range tasks {
-			if act, ok := sys.Enabled(tr); ok {
-				enabled = append(enabled, tr)
-				acts = append(acts, act)
-			}
+		for idx, ok := sys.NextReady(-1); ok; idx, ok = sys.NextReady(idx) {
+			enabled = append(enabled, sys.TaskAt(idx))
+			acts = append(acts, sys.ReadyAction(idx))
 		}
 		if len(enabled) == 0 {
 			return Result{Steps: sys.Steps(), Reason: StopQuiescent}

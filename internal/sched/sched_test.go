@@ -64,15 +64,71 @@ func TestRoundRobinGateBlocksCrash(t *testing.T) {
 		MaxSteps: 100,
 		Gate:     CrashesAfter(1000, 0),
 	})
-	// All channel deliveries happen; the crash stays gated forever, so the
-	// run ends quiescent-with-gated-work after two idle cycles.
-	if res.Reason != StopQuiescent {
-		t.Fatalf("reason = %s, want quiescent", res.Reason)
+	// All channel deliveries happen; the crash stays gated forever.  Since
+	// PR 2 that is reported as StopGated, not StopQuiescent: the crash task
+	// is still enabled, only the gate holds it back.
+	if res.Reason != StopGated {
+		t.Fatalf("reason = %s, want gated", res.Reason)
 	}
 	for _, a := range sys.Trace() {
 		if a.Kind == ioa.KindCrash {
 			t.Fatal("gated crash fired")
 		}
+	}
+}
+
+// TestStallReasonsDistinguished (PR 2 satellite): every scheduler reports
+// StopQuiescent when nothing is enabled and StopGated when enabled work is
+// held back by a never-releasing gate; Result.Stalled covers both, and a
+// step-limited run is not stalled.
+func TestStallReasonsDistinguished(t *testing.T) {
+	schedulers := map[string]func(*ioa.System, Options) Result{
+		"round-robin": RoundRobin,
+		"random": func(s *ioa.System, o Options) Result {
+			return Random(s, 3, o)
+		},
+		"random-priority": func(s *ioa.System, o Options) Result {
+			return RandomPriority(s, NewPRNG(3),
+				func(ioa.TaskRef, ioa.Action) int { return 0 }, o)
+		},
+	}
+	for name, run := range schedulers {
+		t.Run(name, func(t *testing.T) {
+			// No fault plan, no gate: the channels drain and the system is
+			// truly quiescent.
+			sys := build(t, system.NoFaults())
+			res := run(sys, Options{MaxSteps: 100})
+			if res.Reason != StopQuiescent {
+				t.Fatalf("drained reason = %s, want quiescent", res.Reason)
+			}
+			if !res.Stalled() {
+				t.Fatal("quiescent run not Stalled()")
+			}
+			if !sys.Quiescent() {
+				t.Fatal("system reports non-quiescent after drain")
+			}
+
+			// A planned crash behind a gate that never releases: the crash
+			// task stays enabled, so the run is gated, not quiescent.
+			sys = build(t, system.CrashOf(0))
+			res = run(sys, Options{MaxSteps: 100, Gate: CrashesAfter(1000, 0)})
+			if res.Reason != StopGated {
+				t.Fatalf("gated reason = %s, want gated", res.Reason)
+			}
+			if !res.Stalled() {
+				t.Fatal("gated run not Stalled()")
+			}
+			if sys.Quiescent() {
+				t.Fatal("system reports quiescent while a crash task is enabled")
+			}
+
+			// A step-limited run is not stalled.
+			sys = build(t, system.CrashOf(0))
+			res = run(sys, Options{MaxSteps: 2, Gate: CrashesAfter(1000, 0)})
+			if res.Reason != StopLimit || res.Stalled() {
+				t.Fatalf("limited run = %+v, want step-limit and not stalled", res)
+			}
+		})
 	}
 }
 

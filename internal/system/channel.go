@@ -19,12 +19,18 @@ import (
 //
 // Channels are unaffected by crashes: messages already sent are delivered
 // even if the sender subsequently crashes.
+//
+// The queue is a head-indexed ring: delivery never re-slices the buffer, so
+// delivered message strings are released immediately and the buffer is
+// bounded by the in-flight high-water mark, not by the total number of
+// messages ever sent (see TestChannelReleasesDeliveredMessages).
 type Channel struct {
 	From, To ioa.Loc
-	queue    []string
+	queue    ring[string]
 }
 
 var _ ioa.Automaton = (*Channel)(nil)
+var _ ioa.Signatured = (*Channel)(nil)
 
 // NewChannel returns the empty channel automaton Cfrom,to.
 func NewChannel(from, to ioa.Loc) *Channel {
@@ -36,11 +42,19 @@ func (c *Channel) Name() string { return fmt.Sprintf("chan[%v>%v]", c.From, c.To
 
 // Accepts implements ioa.Automaton: inputs are send(m, To)From.
 func (c *Channel) Accepts(a ioa.Action) bool {
-	return a.Kind == ioa.KindSend && a.Loc == c.From && a.Peer == c.To
+	return a.Kind == ioa.KindSend && a.Name == ioa.NameSend && a.Loc == c.From && a.Peer == c.To
+}
+
+// SignatureKeys implements ioa.Signatured: the single send(·, To)From key.
+// This is the declaration that collapses System.Apply from offering each
+// fired action to all n(n-1) channels of a mesh down to the one channel that
+// carries it.
+func (c *Channel) SignatureKeys() []ioa.SigKey {
+	return ioa.KeysOf(ioa.Send(c.From, c.To, ""))
 }
 
 // Input implements ioa.Automaton: enqueue the message.
-func (c *Channel) Input(a ioa.Action) { c.queue = append(c.queue, a.Payload) }
+func (c *Channel) Input(a ioa.Action) { c.queue.push(a.Payload) }
 
 // NumTasks implements ioa.Automaton.
 func (c *Channel) NumTasks() int { return 1 }
@@ -50,33 +64,29 @@ func (c *Channel) TaskLabel(int) string { return "deliver" }
 
 // Enabled implements ioa.Automaton: receive(head, From)To when non-empty.
 func (c *Channel) Enabled(int) (ioa.Action, bool) {
-	if len(c.queue) == 0 {
+	if c.queue.len() == 0 {
 		return ioa.Action{}, false
 	}
-	return ioa.Receive(c.To, c.From, c.queue[0]), true
+	return ioa.Receive(c.To, c.From, c.queue.at(0)), true
 }
 
 // Fire implements ioa.Automaton: dequeue the delivered message.
-func (c *Channel) Fire(ioa.Action) {
-	c.queue = c.queue[1:]
-}
+func (c *Channel) Fire(ioa.Action) { c.queue.pop() }
 
 // Len returns the number of messages in transit.
-func (c *Channel) Len() int { return len(c.queue) }
+func (c *Channel) Len() int { return c.queue.len() }
 
 // Queue returns a copy of the messages in transit, head first.
-func (c *Channel) Queue() []string { return append([]string(nil), c.queue...) }
+func (c *Channel) Queue() []string { return c.queue.snapshot() }
 
 // Clone implements ioa.Automaton.
 func (c *Channel) Clone() ioa.Automaton {
-	cc := &Channel{From: c.From, To: c.To}
-	cc.queue = append([]string(nil), c.queue...)
-	return cc
+	return &Channel{From: c.From, To: c.To, queue: cloneRing(c.queue)}
 }
 
 // Encode implements ioa.Automaton.
 func (c *Channel) Encode() string {
-	return fmt.Sprintf("C%v>%v[%s]", c.From, c.To, strings.Join(c.queue, "\x1f"))
+	return fmt.Sprintf("C%v>%v[%s]", c.From, c.To, strings.Join(c.queue.live(), "\x1f"))
 }
 
 // Channels returns the full mesh of n(n-1) channel automata for locations

@@ -93,6 +93,7 @@ type CrashAutomaton struct {
 }
 
 var _ ioa.Automaton = (*CrashAutomaton)(nil)
+var _ ioa.Signatured = (*CrashAutomaton)(nil)
 
 // NewCrash returns a crash automaton for the given plan.
 func NewCrash(plan FaultPlan) *CrashAutomaton {
@@ -104,6 +105,10 @@ func (c *CrashAutomaton) Name() string { return "crash-automaton" }
 
 // Accepts implements ioa.Automaton: the crash automaton has no inputs.
 func (c *CrashAutomaton) Accepts(ioa.Action) bool { return false }
+
+// SignatureKeys implements ioa.Signatured: the empty signature, so the
+// routing index never offers the crash automaton anything.
+func (c *CrashAutomaton) SignatureKeys() []ioa.SigKey { return nil }
 
 // Input implements ioa.Automaton.
 func (c *CrashAutomaton) Input(ioa.Action) {}

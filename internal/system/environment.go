@@ -30,6 +30,7 @@ type ConsensusEnv struct {
 }
 
 var _ ioa.Automaton = (*ConsensusEnv)(nil)
+var _ ioa.Signatured = (*ConsensusEnv)(nil)
 
 // NewConsensusEnv returns EC,i with both propose values enabled.
 func NewConsensusEnv(i ioa.Loc) *ConsensusEnv {
@@ -51,7 +52,13 @@ func (e *ConsensusEnv) Accepts(a ioa.Action) bool {
 	if a.Loc != e.id {
 		return false
 	}
-	return a.Kind == ioa.KindCrash || (a.Kind == ioa.KindEnvOut && a.Name == ActNameDecide)
+	return (a.Kind == ioa.KindCrash && a.Name == ioa.NameCrash) ||
+		(a.Kind == ioa.KindEnvOut && a.Name == ActNameDecide)
+}
+
+// SignatureKeys implements ioa.Signatured: crashi and decide(·)i.
+func (e *ConsensusEnv) SignatureKeys() []ioa.SigKey {
+	return ioa.KeysOf(ioa.Crash(e.id), ioa.EnvOutput(ActNameDecide, e.id, ""))
 }
 
 // Input implements ioa.Automaton.

@@ -88,11 +88,12 @@ type Proc struct {
 	envIn   map[string]bool // accepted KindEnvIn names
 	failed  bool
 	started bool
-	outbox  []ioa.Action
+	outbox  ring[ioa.Action]
 	m       Machine
 }
 
 var _ ioa.Automaton = (*Proc)(nil)
+var _ ioa.Signatured = (*Proc)(nil)
 
 // NewProc hosts machine m at location id in a system of n locations.
 // fdNames lists the failure-detector action families delivered to the
@@ -115,7 +116,9 @@ func NewProc(label string, id ioa.Loc, n int, m Machine, fdNames, envInputs []st
 	// OnStart runs against the unique start state, before any input.
 	eff := &Effects{self: id}
 	m.OnStart(eff)
-	p.outbox = eff.pending
+	for _, a := range eff.pending {
+		p.outbox.push(a)
+	}
 	p.started = true
 	return p
 }
@@ -132,13 +135,16 @@ func (p *Proc) MachineState() Machine { return p.m }
 // Name implements ioa.Automaton.
 func (p *Proc) Name() string { return fmt.Sprintf("%s[%v]", p.label, p.id) }
 
-// Accepts implements ioa.Automaton.
+// Accepts implements ioa.Automaton.  Crash and receive actions must carry
+// their canonical names and an in-range peer (every constructor guarantees
+// this), so that the signature below covers Accepts exactly.
 func (p *Proc) Accepts(a ioa.Action) bool {
 	switch a.Kind {
 	case ioa.KindCrash:
-		return a.Loc == p.id
+		return a.Loc == p.id && a.Name == ioa.NameCrash
 	case ioa.KindReceive:
-		return a.Loc == p.id
+		return a.Loc == p.id && a.Name == ioa.NameReceive &&
+			a.Peer >= 0 && int(a.Peer) < p.n
 	case ioa.KindFD:
 		return a.Loc == p.id && p.fdNames[a.Name]
 	case ioa.KindEnvIn:
@@ -146,6 +152,23 @@ func (p *Proc) Accepts(a ioa.Action) bool {
 	default:
 		return false
 	}
+}
+
+// SignatureKeys implements ioa.Signatured: crashi, receive(·, j)i for every
+// location j, the subscribed failure-detector families at i, and the
+// declared environment inputs at i.
+func (p *Proc) SignatureKeys() []ioa.SigKey {
+	keys := ioa.KeysOf(ioa.Crash(p.id))
+	for j := 0; j < p.n; j++ {
+		keys = append(keys, ioa.KeyOf(ioa.Receive(p.id, ioa.Loc(j), "")))
+	}
+	for f := range p.fdNames {
+		keys = append(keys, ioa.KeyOf(ioa.FDOutput(f, p.id, "")))
+	}
+	for e := range p.envIn {
+		keys = append(keys, ioa.KeyOf(ioa.EnvInput(e, p.id, "")))
+	}
+	return keys
 }
 
 // Input implements ioa.Automaton.  Per §4.2, inputs arriving after crashi
@@ -168,7 +191,9 @@ func (p *Proc) Input(a ioa.Action) {
 	case ioa.KindEnvIn:
 		p.m.OnEnvInput(a.Name, a.Payload, eff)
 	}
-	p.outbox = append(p.outbox, eff.pending...)
+	for _, act := range eff.pending {
+		p.outbox.push(act)
+	}
 }
 
 // NumTasks implements ioa.Automaton: a process automaton is deterministic,
@@ -180,19 +205,17 @@ func (p *Proc) TaskLabel(int) string { return "step" }
 
 // Enabled implements ioa.Automaton: the head of the outbox, unless crashed.
 func (p *Proc) Enabled(int) (ioa.Action, bool) {
-	if p.failed || len(p.outbox) == 0 {
+	if p.failed || p.outbox.len() == 0 {
 		return ioa.Action{}, false
 	}
-	return p.outbox[0], true
+	return p.outbox.at(0), true
 }
 
 // Fire implements ioa.Automaton.
-func (p *Proc) Fire(ioa.Action) {
-	p.outbox = p.outbox[1:]
-}
+func (p *Proc) Fire(ioa.Action) { p.outbox.pop() }
 
 // PendingOutputs returns the number of queued locally controlled actions.
-func (p *Proc) PendingOutputs() int { return len(p.outbox) }
+func (p *Proc) PendingOutputs() int { return p.outbox.len() }
 
 // Clone implements ioa.Automaton.
 func (p *Proc) Clone() ioa.Automaton {
@@ -206,7 +229,7 @@ func (p *Proc) Clone() ioa.Automaton {
 		started: p.started,
 		m:       p.m.Clone(),
 	}
-	c.outbox = append([]ioa.Action(nil), p.outbox...)
+	c.outbox = cloneRing(p.outbox)
 	return c
 }
 
@@ -214,7 +237,7 @@ func (p *Proc) Clone() ioa.Automaton {
 func (p *Proc) Encode() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "P%v|f=%t|", p.id, p.failed)
-	for _, a := range p.outbox {
+	for _, a := range p.outbox.live() {
 		b.WriteString(a.String())
 		b.WriteByte(';')
 	}

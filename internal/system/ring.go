@@ -1,0 +1,60 @@
+package system
+
+// ringCompactMin is the dead-prefix length below which a ring skips
+// compaction: tiny queues just reset when they drain, and the copy cost is
+// only paid once the prefix dominates the buffer.
+const ringCompactMin = 32
+
+// ring is a FIFO over a slice with a head index.  Popping advances the head
+// instead of reslicing (`q = q[1:]` keeps the entire backing array — and
+// every value ever enqueued — reachable for the lifetime of the queue);
+// popped slots are zeroed immediately so their referents can be collected,
+// and the dead prefix is compacted away once it is both ≥ ringCompactMin
+// and at least as long as the live suffix, which bounds the buffer at twice
+// the live high-water mark regardless of total throughput.
+type ring[T any] struct {
+	buf  []T
+	head int
+}
+
+// push enqueues v.
+func (r *ring[T]) push(v T) { r.buf = append(r.buf, v) }
+
+// len returns the number of live elements.
+func (r *ring[T]) len() int { return len(r.buf) - r.head }
+
+// at returns the i-th live element (0 = head).
+func (r *ring[T]) at(i int) T { return r.buf[r.head+i] }
+
+// live returns the live elements as a view into the buffer; callers must not
+// retain it across a push or pop.
+func (r *ring[T]) live() []T { return r.buf[r.head:] }
+
+// pop dequeues the head element, releasing its slot.
+func (r *ring[T]) pop() {
+	var zero T
+	r.buf[r.head] = zero
+	r.head++
+	if r.head == len(r.buf) {
+		r.buf = r.buf[:0]
+		r.head = 0
+		return
+	}
+	if r.head >= ringCompactMin && r.head >= len(r.buf)-r.head {
+		n := copy(r.buf, r.buf[r.head:])
+		tail := r.buf[n:]
+		for i := range tail {
+			tail[i] = zero
+		}
+		r.buf = r.buf[:n]
+		r.head = 0
+	}
+}
+
+// snapshot returns an independent copy of the live elements, head first.
+func (r *ring[T]) snapshot() []T { return append([]T(nil), r.buf[r.head:]...) }
+
+// cloneRing returns an independent compacted copy of r.
+func cloneRing[T any](r ring[T]) ring[T] {
+	return ring[T]{buf: r.snapshot()}
+}

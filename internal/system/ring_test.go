@@ -1,0 +1,95 @@
+package system
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+// TestRingBufferStaysBounded: the ring's compaction rule bounds the backing
+// array at twice the live high-water mark, regardless of total throughput.
+func TestRingBufferStaysBounded(t *testing.T) {
+	var r ring[int]
+	const highWater = 5
+	for cycle := 0; cycle < 10_000; cycle++ {
+		for i := 0; i < highWater; i++ {
+			r.push(cycle*highWater + i)
+		}
+		for i := 0; i < highWater; i++ {
+			if got := r.at(0); got != cycle*highWater+i {
+				t.Fatalf("cycle %d: head = %d, want %d (FIFO broken)", cycle, got, cycle*highWater+i)
+			}
+			r.pop()
+		}
+		if len(r.buf) > 2*(highWater+ringCompactMin) {
+			t.Fatalf("cycle %d: buffer length %d (head %d) grows with throughput", cycle, len(r.buf), r.head)
+		}
+	}
+	if r.len() != 0 {
+		t.Fatalf("ring not empty: %d live", r.len())
+	}
+}
+
+// TestChannelBufferCompaction is the regression test for the PR-2 channel
+// memory-retention fix: Channel.Fire used to dequeue with `queue =
+// queue[1:]`, keeping the whole backing array — and every message ever sent
+// — reachable for the channel's lifetime.  After many send/deliver cycles
+// the internal buffer must stay bounded by the live high-water mark, not the
+// total message count.
+func TestChannelBufferCompaction(t *testing.T) {
+	c := NewChannel(0, 1)
+	const cycles, batch = 20_000, 3
+	for k := 0; k < cycles; k++ {
+		for i := 0; i < batch; i++ {
+			c.Input(ioa.Send(0, 1, fmt.Sprintf("m%d-%d", k, i)))
+		}
+		for i := 0; i < batch; i++ {
+			act, ok := c.Enabled(0)
+			if !ok {
+				t.Fatalf("cycle %d: channel with %d queued not enabled", k, c.Len())
+			}
+			if want := fmt.Sprintf("m%d-%d", k, i); act.Payload != want {
+				t.Fatalf("cycle %d: delivering %q, want %q", k, act.Payload, want)
+			}
+			c.Fire(act)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("channel not drained: %d", c.Len())
+	}
+	if n := len(c.queue.buf); n > 2*(batch+ringCompactMin) {
+		t.Fatalf("queue buffer holds %d slots after %d messages: dequeues retain memory", n, cycles*batch)
+	}
+}
+
+// TestTrackedChannelBufferCompaction: same regression for TrackedChannel,
+// which keeps a parallel stamp queue that used to leak the same way.
+func TestTrackedChannelBufferCompaction(t *testing.T) {
+	clock := NewSendClock()
+	c := NewTrackedChannel(0, 1, clock)
+	const cycles = 20_000
+	for k := 0; k < cycles; k++ {
+		c.Input(ioa.Send(0, 1, fmt.Sprintf("m%d", k)))
+		c.Input(ioa.Send(0, 1, fmt.Sprintf("n%d", k)))
+		if _, ok := c.HeadStamp(); !ok {
+			t.Fatalf("cycle %d: no head stamp with queued messages", k)
+		}
+		for c.Len() > 0 {
+			act, ok := c.Enabled(0)
+			if !ok {
+				t.Fatalf("cycle %d: non-empty tracked channel not enabled", k)
+			}
+			c.Fire(act)
+		}
+	}
+	if n := len(c.queue.buf); n > 2*(2+ringCompactMin) {
+		t.Fatalf("message buffer holds %d slots: dequeues retain memory", n)
+	}
+	if n := len(c.stamps.buf); n > 2*(2+ringCompactMin) {
+		t.Fatalf("stamp buffer holds %d slots: dequeues retain memory", n)
+	}
+	if _, ok := c.HeadStamp(); ok {
+		t.Fatal("drained channel still reports a head stamp")
+	}
+}

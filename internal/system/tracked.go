@@ -25,14 +25,17 @@ func (c *SendClock) Now() uint64 { return c.now }
 // semantics are identical to Channel (reliable FIFO, unaffected by
 // crashes); the stamps exist so adversarial schedulers can prioritize
 // deliveries by send recency (e.g. deliver-last-sent-first) while staying a
-// deterministic function of the schedule.
+// deterministic function of the schedule.  The stamp queue is the same
+// head-indexed ring as the message queue, so long runs release delivered
+// stamps too.
 type TrackedChannel struct {
 	Channel
 	clock  *SendClock
-	stamps []uint64
+	stamps ring[uint64]
 }
 
 var _ ioa.Automaton = (*TrackedChannel)(nil)
+var _ ioa.Signatured = (*TrackedChannel)(nil)
 
 // NewTrackedChannel returns the empty tracked channel automaton from→to
 // stamping with clock.
@@ -43,22 +46,22 @@ func NewTrackedChannel(from, to ioa.Loc, clock *SendClock) *TrackedChannel {
 // Input enqueues the message and stamps it.
 func (c *TrackedChannel) Input(a ioa.Action) {
 	c.Channel.Input(a)
-	c.stamps = append(c.stamps, c.clock.tick())
+	c.stamps.push(c.clock.tick())
 }
 
 // Fire dequeues the delivered message and its stamp.
 func (c *TrackedChannel) Fire(a ioa.Action) {
 	c.Channel.Fire(a)
-	c.stamps = c.stamps[1:]
+	c.stamps.pop()
 }
 
 // HeadStamp returns the send stamp of the message next in line for
 // delivery, and false when the channel is empty.
 func (c *TrackedChannel) HeadStamp() (uint64, bool) {
-	if len(c.stamps) == 0 {
+	if c.stamps.len() == 0 {
 		return 0, false
 	}
-	return c.stamps[0], true
+	return c.stamps.at(0), true
 }
 
 // Clone implements ioa.Automaton.  The clone SHARES the send clock: stamp
@@ -66,15 +69,16 @@ func (c *TrackedChannel) HeadStamp() (uint64, bool) {
 // execution per clock.  Drivers forking executions (the execution tree)
 // should use plain Channels.
 func (c *TrackedChannel) Clone() ioa.Automaton {
-	cc := &TrackedChannel{Channel: Channel{From: c.From, To: c.To}, clock: c.clock}
-	cc.queue = append([]string(nil), c.queue...)
-	cc.stamps = append([]uint64(nil), c.stamps...)
-	return cc
+	return &TrackedChannel{
+		Channel: Channel{From: c.From, To: c.To, queue: cloneRing(c.queue)},
+		clock:   c.clock,
+		stamps:  cloneRing(c.stamps),
+	}
 }
 
 // Encode implements ioa.Automaton; stamps are part of the state.
 func (c *TrackedChannel) Encode() string {
-	return fmt.Sprintf("T%s#%v", c.Channel.Encode(), c.stamps)
+	return fmt.Sprintf("T%s#%v", c.Channel.Encode(), c.stamps.live())
 }
 
 // TrackedChannels returns the full mesh of n(n-1) tracked channel automata
