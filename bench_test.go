@@ -6,7 +6,6 @@ package repro
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
 	"repro/internal/afd"
@@ -237,49 +236,70 @@ func BenchmarkFLPAdversary(b *testing.B) {
 	}
 }
 
-// BenchmarkValenceExploration is E10: building and valence-tagging RtD.
+// BenchmarkValenceExploration is E10: building and valence-tagging RtD, at
+// worker counts 1 (serial reference) and GOMAXPROCS (parallel engine).  The
+// explored tables are byte-identical across variants; only the wall clock
+// and allocation profile differ.
 func BenchmarkValenceExploration(b *testing.B) {
 	for _, rounds := range []int{3, 6} {
-		b.Run(fmt.Sprintf("n=2/rounds=%d", rounds), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				e, err := valence.New(valence.Config{
-					N: 2, Family: afd.FamilyOmega, TD: valence.OmegaTD(2, rounds, nil),
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				if err := e.Explore(); err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(float64(e.NumNodes()), "nodes/op")
+		for _, workers := range []int{1, 0} {
+			name := fmt.Sprintf("n=2/rounds=%d/workers=%d", rounds, workers)
+			if workers == 0 {
+				name = fmt.Sprintf("n=2/rounds=%d/workers=max", rounds)
 			}
-		})
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					e, err := valence.New(valence.Config{
+						N: 2, Family: afd.FamilyOmega, TD: valence.OmegaTD(2, rounds, nil),
+						Workers: workers,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := e.Explore(); err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(e.NumNodes()), "nodes/op")
+				}
+			})
+		}
 	}
 }
 
 // BenchmarkHookSearch is E11: hook location and Theorem-59 verification.
 func BenchmarkHookSearch(b *testing.B) {
-	e, err := valence.New(valence.Config{
-		N: 2, Family: afd.FamilyOmega, TD: valence.OmegaTD(2, 6, nil),
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := e.Explore(); err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		hooks := e.FindHooks(0)
-		if len(hooks) == 0 {
-			b.Fatal("no hooks")
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
 		}
-		for _, h := range hooks {
-			if err := e.VerifyHook(h); err != nil {
+		b.Run(name, func(b *testing.B) {
+			e, err := valence.New(valence.Config{
+				N: 2, Family: afd.FamilyOmega, TD: valence.OmegaTD(2, 6, nil),
+				Workers: workers,
+			})
+			if err != nil {
 				b.Fatal(err)
 			}
-		}
-		b.ReportMetric(float64(len(hooks)), "hooks/op")
+			if err := e.Explore(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hooks := e.FindHooks(0)
+				if len(hooks) == 0 {
+					b.Fatal("no hooks")
+				}
+				for _, h := range hooks {
+					if err := e.VerifyHook(h); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(len(hooks)), "hooks/op")
+			}
+		})
 	}
 }
 
@@ -340,7 +360,9 @@ func BenchmarkTraceOps(b *testing.B) {
 		b.Fatal(err)
 	}
 	isOut := afd.IsOutput(afd.FamilyP)
-	rng := rand.New(rand.NewSource(1))
+	// sched.PRNG, not math/rand: the generated samplings/reorderings are
+	// then stable across Go releases (same motivation as sched.Random).
+	rng := sched.NewPRNG(1)
 	b.Run("sampling", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			s := trace.GenSampling(tr, n, isOut, rng)

@@ -1,6 +1,7 @@
 // Command benchjson measures the E1 event-throughput experiment (the
 // Figure-1 composition of EXPERIMENTS.md driven to a fixed step budget) and
-// writes the results as JSON, one record per system size.  CI runs it on
+// the E10 valence-exploration throughput (BenchmarkValence* configurations,
+// serial and parallel), and writes the results as JSON.  CI runs it on
 // every pull request and uploads the file as the BENCH_pr artifact so
 // throughput regressions across PRs are a download-and-diff away.
 package main
@@ -17,6 +18,7 @@ import (
 	"repro/internal/ioa"
 	"repro/internal/sched"
 	"repro/internal/system"
+	"repro/internal/valence"
 )
 
 // sizeResult is the E1 row for one system size.
@@ -27,15 +29,26 @@ type sizeResult struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
+// valenceResult is one E10 exploration-throughput row.
+type valenceResult struct {
+	Config      string  `json:"config"`
+	Workers     int     `json:"workers"` // 0 = GOMAXPROCS
+	Nodes       int     `json:"nodes"`
+	Edges       int     `json:"edges"`
+	NsBest      int64   `json:"ns_best"`
+	NodesPerSec float64 `json:"nodes_per_sec"`
+}
+
 // report is the BENCH_pr.json schema.
 type report struct {
-	Experiment string       `json:"experiment"`
-	GoVersion  string       `json:"go_version"`
-	GOOS       string       `json:"goos"`
-	GOARCH     string       `json:"goarch"`
-	Steps      int          `json:"steps"`
-	Reps       int          `json:"reps"`
-	Sizes      []sizeResult `json:"sizes"`
+	Experiment string          `json:"experiment"`
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	Steps      int             `json:"steps"`
+	Reps       int             `json:"reps"`
+	Sizes      []sizeResult    `json:"sizes"`
+	Valence    []valenceResult `json:"valence"`
 }
 
 func run(n, steps int) (events int, elapsed time.Duration, err error) {
@@ -86,6 +99,43 @@ func main() {
 		rep.Sizes = append(rep.Sizes, best)
 		fmt.Printf("n=%-3d %d events in %v (%.0f events/sec)\n",
 			n, best.Events, time.Duration(best.NsBest), best.EventsPerSec)
+	}
+	valenceConfigs := []struct {
+		name string
+		cfg  valence.Config
+	}{
+		{"omega n=2 rounds=6", valence.Config{N: 2, Family: afd.FamilyOmega, TD: valence.OmegaTD(2, 6, nil)}},
+		{"perfect s n=2 crash", valence.Config{N: 2, Family: afd.FamilyP, Algo: "s",
+			TD: valence.PerfectTD(2, 4, map[ioa.Loc]int{1: 1})}},
+	}
+	for _, vc := range valenceConfigs {
+		for _, workers := range []int{1, 0} {
+			best := valenceResult{Config: vc.name, Workers: workers}
+			for r := 0; r < *reps; r++ {
+				cfg := vc.cfg
+				cfg.Workers = workers
+				e, err := valence.New(cfg)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", vc.name, err)
+					os.Exit(1)
+				}
+				start := time.Now()
+				if err := e.Explore(); err != nil {
+					fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", vc.name, err)
+					os.Exit(1)
+				}
+				el := time.Since(start)
+				if best.NsBest == 0 || el.Nanoseconds() < best.NsBest {
+					best.Nodes = e.NumNodes()
+					best.Edges = e.NumEdges()
+					best.NsBest = el.Nanoseconds()
+					best.NodesPerSec = float64(e.NumNodes()) / el.Seconds()
+				}
+			}
+			rep.Valence = append(rep.Valence, best)
+			fmt.Printf("valence %-22s workers=%-3d %d nodes in %v (%.0f nodes/sec)\n",
+				best.Config, workers, best.Nodes, time.Duration(best.NsBest), best.NodesPerSec)
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

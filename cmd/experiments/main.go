@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,11 @@ import (
 	"repro/internal/trace"
 	"repro/internal/transform"
 	"repro/internal/valence"
+)
+
+var (
+	e10MaxHooks = flag.Int("maxhooks", 200, "hook-search cap in E10-E11 (0 = all)")
+	e10Workers  = flag.Int("workers", 0, "exploration workers in E10-E11 (0 = GOMAXPROCS)")
 )
 
 func main() {
@@ -267,8 +273,8 @@ func e9FLP() error {
 }
 
 func e10Valence() error {
-	fmt.Printf("%-24s %-10s %-10s %-10s %-8s %-8s %-10s\n",
-		"config", "nodes", "edges", "bivalent", "hooks", "critLoc", "verdict")
+	fmt.Printf("%-24s %-10s %-10s %-10s %-8s %-8s %-10s %-10s\n",
+		"config", "nodes", "edges", "bivalent", "hooks", "critLoc", "knodes/s", "verdict")
 	configs := []struct {
 		name string
 		cfg  valence.Config
@@ -290,15 +296,28 @@ func e10Valence() error {
 		}},
 	}
 	for _, c := range configs {
-		e, err := valence.New(c.cfg)
+		cfg := c.cfg
+		cfg.Workers = *e10Workers
+		e, err := valence.New(cfg)
 		if err != nil {
 			return err
 		}
+		start := time.Now()
 		if err := e.Explore(); err != nil {
+			// A cap overflow is a property of the configuration, not a
+			// harness failure: report the partial count and keep going.
+			var capErr *valence.ErrStateSpaceCap
+			if errors.As(err, &capErr) {
+				fmt.Printf("%-24s %-10d %-10s %-10s %-8s %-8s %-10s %-10s\n",
+					c.name, capErr.Nodes, "-", "-", "-", "-", "-",
+					fmt.Sprintf("CAP>%d", capErr.Cap))
+				continue
+			}
 			return err
 		}
+		elapsed := time.Since(start)
 		st := e.Stats()
-		hooks := e.FindHooks(200)
+		hooks := e.FindHooks(*e10MaxHooks)
 		verd := "ok"
 		critLive := true
 		for _, h := range hooks {
@@ -321,8 +340,9 @@ func e10Valence() error {
 		if !critLive {
 			crit = "DEAD"
 		}
-		fmt.Printf("%-24s %-10d %-10d %-10d %-8d %-8s %-10s\n",
-			c.name, st.Nodes, st.Edges, st.Bivalent, len(hooks), crit, verd)
+		fmt.Printf("%-24s %-10d %-10d %-10d %-8d %-8s %-10.1f %-10s\n",
+			c.name, st.Nodes, st.Edges, st.Bivalent, len(hooks), crit,
+			float64(st.Nodes)/elapsed.Seconds()/1000, verd)
 	}
 	return nil
 }

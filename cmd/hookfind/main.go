@@ -3,17 +3,26 @@
 // hooks (Section 9.6.1), and verifies the Theorem-59 properties of every
 // hook found.
 //
+// Exploration runs on the parallel engine (see -workers) and reports
+// progress — nodes, edges, nodes/sec — every -progress nodes and on SIGINT;
+// a second SIGINT aborts the exploration cleanly via the Progress hook.
+//
 // Example:
 //
 //	hookfind -n 3 -rounds 3 -crash 2:1 -values -1,0,1
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"repro/internal/afd"
 	"repro/internal/ioa"
@@ -30,14 +39,16 @@ func main() {
 
 func run() error {
 	var (
-		n      = flag.Int("n", 2, "number of locations")
-		algo   = flag.String("algo", "ct", "hosted consensus algorithm: ct (Ω, rotating coordinator) or s (P, flooding)")
-		rounds = flag.Int("rounds", 6, "detector output sweeps in tD")
-		crash  = flag.String("crash", "", "crashes inside tD as loc:round pairs, comma separated")
-		values = flag.String("values", "", "environment proposals per location (-1 = free); empty = all free")
-		max    = flag.Int("max", 2_000_000, "node cap")
-		hooks  = flag.Int("hooks", 10, "hooks to print (0 = all found)")
-		dot    = flag.String("dot", "", "write the explored graph as Graphviz DOT to this file")
+		n        = flag.Int("n", 2, "number of locations")
+		algo     = flag.String("algo", "ct", "hosted consensus algorithm: ct (Ω, rotating coordinator) or s (P, flooding)")
+		rounds   = flag.Int("rounds", 6, "detector output sweeps in tD")
+		crash    = flag.String("crash", "", "crashes inside tD as loc:round pairs, comma separated")
+		values   = flag.String("values", "", "environment proposals per location (-1 = free); empty = all free")
+		maxNodes = flag.Int("maxnodes", 2_000_000, "node cap (exploration fails past it)")
+		maxHooks = flag.Int("maxhooks", 10, "hooks to print and verify (0 = all found)")
+		workers  = flag.Int("workers", 0, "exploration workers (0 = GOMAXPROCS)")
+		progress = flag.Int("progress", 100_000, "print a progress line every this many nodes (0 = only on SIGINT)")
+		dot      = flag.String("dot", "", "write the explored graph as Graphviz DOT to this file")
 	)
 	flag.Parse()
 
@@ -90,17 +101,58 @@ func run() error {
 	}
 	fmt.Printf("tD: %d events (%d crashes)\n", len(tD), len(crashAt))
 
+	// SIGINT once = print progress at the next hook call; twice = abort.
+	var sigints atomic.Int64
+	sigCh := make(chan os.Signal, 4)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		for range sigCh {
+			if sigints.Add(1) >= 2 {
+				fmt.Fprintln(os.Stderr, "hookfind: aborting at next progress checkpoint")
+			}
+		}
+	}()
+	defer signal.Stop(sigCh)
+
+	every := *progress
+	if every <= 0 {
+		// Progress only on SIGINT: still poll at a fine grain so the signal
+		// is noticed promptly, but stay quiet otherwise.
+		every = 10_000
+	}
+	start := time.Now()
+	var lastPrinted int64
 	e, err := valence.New(valence.Config{
-		N: *n, Family: family, Algo: *algo, TD: tD, Values: vals, MaxNodes: *max,
+		N: *n, Family: family, Algo: *algo, TD: tD, Values: vals,
+		MaxNodes: *maxNodes, Workers: *workers, ProgressEvery: every,
+		Progress: func(p valence.Progress) bool {
+			sig := sigints.Load()
+			if *progress > 0 || sig > 0 || p.Done {
+				el := time.Since(start)
+				fmt.Fprintf(os.Stderr, "progress: %d nodes, %d edges, %.0f nodes/sec\n",
+					p.Nodes, p.Edges, float64(p.Nodes)/el.Seconds())
+				lastPrinted = p.Nodes
+			}
+			return sig < 2
+		},
 	})
 	if err != nil {
 		return err
 	}
 	if err := e.Explore(); err != nil {
+		var cap *valence.ErrStateSpaceCap
+		switch {
+		case errors.Is(err, valence.ErrCanceled):
+			return fmt.Errorf("exploration aborted by SIGINT after %d nodes", lastPrinted)
+		case errors.As(err, &cap):
+			return fmt.Errorf("state space exceeds -maxnodes %d (%d nodes created); re-run with a larger cap",
+				cap.Cap, cap.Nodes)
+		}
 		return err
 	}
 	st := e.Stats()
-	fmt.Printf("graph: %d nodes, %d edges (%d FD, %d decide)\n", st.Nodes, st.Edges, st.FDEdges, st.DecideCut)
+	fmt.Printf("graph: %d nodes, %d edges (%d FD, %d decide) in %v\n",
+		st.Nodes, st.Edges, st.FDEdges, st.DecideCut, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("valences: %d bivalent, %d 0-valent, %d 1-valent, %d unknown\n",
 		st.Bivalent, st.ZeroVal, st.OneVal, st.Unknown)
 	fmt.Printf("root: %v\n", e.Valence(e.Root()))
@@ -113,7 +165,7 @@ func run() error {
 	}
 	fmt.Println("Lemma 52 and Proposition 50 verified on every node")
 
-	found := e.FindHooks(*hooks)
+	found := e.FindHooks(*maxHooks)
 	if len(found) == 0 {
 		fmt.Println("no hooks found")
 		return nil

@@ -1,0 +1,118 @@
+package ioa
+
+import "strconv"
+
+// AppendEncoder is an optional Automaton extension: AppendEncode appends the
+// automaton's canonical state encoding — byte-identical to Encode() — to dst
+// and returns the extended slice, so hot paths that fingerprint states (the
+// execution-tree explorer memoizes every reachable composed state) can reuse
+// one buffer instead of materializing a string per component per state.
+//
+// Contract: AppendEncode(dst) must append exactly the bytes of Encode(), and
+// like Encode must not mutate the automaton.
+type AppendEncoder interface {
+	AppendEncode(dst []byte) []byte
+}
+
+// sysEncSep separates component encodings inside a System encoding.
+const sysEncSep = '\x1e'
+
+// AppendEncode appends the canonical encoding of the composed state — the
+// same bytes Encode returns — to dst and returns the extended slice.
+// Components implementing AppendEncoder encode in place; the rest fall back
+// to Encode().
+func (s *System) AppendEncode(dst []byte) []byte {
+	for i, a := range s.autos {
+		if i > 0 {
+			dst = append(dst, sysEncSep)
+		}
+		if ae, ok := a.(AppendEncoder); ok {
+			dst = ae.AppendEncode(dst)
+		} else {
+			dst = append(dst, a.Encode()...)
+		}
+	}
+	return dst
+}
+
+// EncodeHash returns a 64-bit FNV-1a hash of the canonical state encoding:
+// equal states hash equal (it hashes exactly the bytes of Encode).  It is a
+// fingerprint, not an identity — callers that key state on it must confirm
+// collisions against the full encoding.
+func (s *System) EncodeHash() uint64 {
+	h := uint64(fnvOffset)
+	var buf [256]byte
+	scratch := buf[:0]
+	for i, a := range s.autos {
+		if i > 0 {
+			h = (h ^ uint64(sysEncSep)) * fnvPrime
+		}
+		scratch = scratch[:0]
+		if ae, ok := a.(AppendEncoder); ok {
+			scratch = ae.AppendEncode(scratch)
+		} else {
+			scratch = append(scratch, a.Encode()...)
+		}
+		h = HashBytes(h, scratch)
+	}
+	return h
+}
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// HashSeed is the initial value for HashBytes chains.
+const HashSeed = uint64(fnvOffset)
+
+// HashBytes folds b into the running FNV-1a hash h.
+func HashBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	return h
+}
+
+// AppendTo appends the Action's String() rendering to dst without the
+// fmt-driven allocations, for encoders that embed actions in state strings.
+func (a Action) AppendTo(dst []byte) []byte {
+	switch a.Kind {
+	case 0:
+		return append(dst, "⊥"...)
+	case KindCrash:
+		dst = append(dst, "crash_"...)
+		return appendLoc(dst, a.Loc)
+	case KindSend:
+		dst = append(dst, "send("...)
+		dst = append(dst, a.Payload...)
+		dst = append(dst, ',')
+		dst = appendLoc(dst, a.Peer)
+		dst = append(dst, ")_"...)
+		return appendLoc(dst, a.Loc)
+	case KindReceive:
+		dst = append(dst, "receive("...)
+		dst = append(dst, a.Payload...)
+		dst = append(dst, ',')
+		dst = appendLoc(dst, a.Peer)
+		dst = append(dst, ")_"...)
+		return appendLoc(dst, a.Loc)
+	default:
+		dst = append(dst, a.Name...)
+		if a.Payload != "" {
+			dst = append(dst, '(')
+			dst = append(dst, a.Payload...)
+			dst = append(dst, ')')
+		}
+		dst = append(dst, '_')
+		return appendLoc(dst, a.Loc)
+	}
+}
+
+func appendLoc(dst []byte, l Loc) []byte {
+	if l == NoLoc {
+		return append(dst, "⊥"...)
+	}
+	return strconv.AppendInt(dst, int64(l), 10)
+}

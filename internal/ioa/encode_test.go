@@ -1,0 +1,83 @@
+package ioa
+
+import (
+	"testing"
+)
+
+// appendEncAuto implements AppendEncoder; plainAuto does not.  Both wrap the
+// same state so a mixed composition exercises both AppendEncode paths.
+type plainAuto struct {
+	name  string
+	state string
+}
+
+func (a *plainAuto) Name() string               { return a.name }
+func (a *plainAuto) Accepts(Action) bool        { return false }
+func (a *plainAuto) Input(Action)               {}
+func (a *plainAuto) NumTasks() int              { return 0 }
+func (a *plainAuto) TaskLabel(int) string       { return "" }
+func (a *plainAuto) Enabled(int) (Action, bool) { return Action{}, false }
+func (a *plainAuto) Fire(Action)                {}
+func (a *plainAuto) Clone() Automaton           { c := *a; return &c }
+func (a *plainAuto) Encode() string             { return a.state }
+
+type appendEncAuto struct{ plainAuto }
+
+func (a *appendEncAuto) AppendEncode(dst []byte) []byte { return append(dst, a.state...) }
+func (a *appendEncAuto) Clone() Automaton               { c := *a; return &c }
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	sys := MustNewSystem(
+		&plainAuto{name: "a", state: "s1|x"},
+		&appendEncAuto{plainAuto{name: "b", state: "s2[y\x1fz]"}},
+		&plainAuto{name: "c", state: ""},
+	)
+	want := sys.Encode()
+	got := string(sys.AppendEncode(nil))
+	if got != want {
+		t.Fatalf("AppendEncode = %q, want Encode = %q", got, want)
+	}
+	// Appending to a non-empty prefix keeps the prefix.
+	pre := []byte("pre:")
+	if got := string(sys.AppendEncode(pre)); got != "pre:"+want {
+		t.Fatalf("AppendEncode(prefix) = %q", got)
+	}
+}
+
+func TestEncodeHashMatchesEncodeBytes(t *testing.T) {
+	sys := MustNewSystem(
+		&plainAuto{name: "a", state: "s1"},
+		&appendEncAuto{plainAuto{name: "b", state: "s2"}},
+	)
+	want := HashBytes(HashSeed, []byte(sys.Encode()))
+	if got := sys.EncodeHash(); got != want {
+		t.Fatalf("EncodeHash = %#x, want hash of Encode bytes %#x", got, want)
+	}
+	// Different state, different hash (FNV on short distinct strings).
+	sys2 := MustNewSystem(
+		&plainAuto{name: "a", state: "s1"},
+		&appendEncAuto{plainAuto{name: "b", state: "s3"}},
+	)
+	if sys2.EncodeHash() == want {
+		t.Fatal("distinct states produced equal hashes on trivially distinct input")
+	}
+}
+
+func TestActionAppendTo(t *testing.T) {
+	acts := []Action{
+		{},
+		Crash(1),
+		Crash(NoLoc),
+		Send(0, 2, "m|x"),
+		Receive(2, 0, "m"),
+		FDOutput("FD-Ω", 2, "{0,1}"),
+		EnvInput("propose", 0, "1"),
+		EnvOutput("decide", 1, ""),
+		Internal("tick", 3, ""),
+	}
+	for _, a := range acts {
+		if got := string(a.AppendTo(nil)); got != a.String() {
+			t.Errorf("AppendTo(%#v) = %q, want %q", a, got, a.String())
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package system
+
+import (
+	"strconv"
+
+	"repro/internal/ioa"
+)
+
+// Append-style encoders (ioa.AppendEncoder) for the automata that dominate
+// composed-state fingerprinting in the execution-tree explorer.  Each must
+// append exactly the bytes its Encode() returns; contract_test.go checks the
+// equality on driven systems.
+
+var (
+	_ ioa.AppendEncoder = (*Channel)(nil)
+	_ ioa.AppendEncoder = (*Proc)(nil)
+	_ ioa.AppendEncoder = (*ConsensusEnv)(nil)
+	_ ioa.AppendEncoder = (*CrashAutomaton)(nil)
+)
+
+// AppendEncode implements ioa.AppendEncoder.
+func (c *Channel) AppendEncode(dst []byte) []byte {
+	dst = append(dst, 'C')
+	dst = appendLoc(dst, c.From)
+	dst = append(dst, '>')
+	dst = appendLoc(dst, c.To)
+	dst = append(dst, '[')
+	for i, m := range c.queue.live() {
+		if i > 0 {
+			dst = append(dst, '\x1f')
+		}
+		dst = append(dst, m...)
+	}
+	return append(dst, ']')
+}
+
+// AppendEncode implements ioa.AppendEncoder.
+func (p *Proc) AppendEncode(dst []byte) []byte {
+	dst = append(dst, 'P')
+	dst = appendLoc(dst, p.id)
+	dst = append(dst, "|f="...)
+	dst = strconv.AppendBool(dst, p.failed)
+	dst = append(dst, '|')
+	for _, a := range p.outbox.live() {
+		dst = a.AppendTo(dst)
+		dst = append(dst, ';')
+	}
+	dst = append(dst, '|')
+	if ae, ok := p.m.(ioa.AppendEncoder); ok {
+		return ae.AppendEncode(dst)
+	}
+	return append(dst, p.m.Encode()...)
+}
+
+// AppendEncode implements ioa.AppendEncoder.
+func (e *ConsensusEnv) AppendEncode(dst []byte) []byte {
+	dst = append(dst, 'E')
+	dst = appendLoc(dst, e.id)
+	dst = append(dst, '|')
+	dst = strconv.AppendBool(dst, e.stop)
+	dst = append(dst, '|')
+	dst = strconv.AppendBool(dst, e.allow[0])
+	return strconv.AppendBool(dst, e.allow[1])
+}
+
+// AppendEncode implements ioa.AppendEncoder.
+func (c *CrashAutomaton) AppendEncode(dst []byte) []byte {
+	dst = append(dst, 'C', 'R')
+	dst = strconv.AppendInt(dst, int64(c.fired), 10)
+	dst = append(dst, '/')
+	for i, l := range c.plan.Crash {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendLoc(dst, l)
+	}
+	return dst
+}
+
+// appendLoc appends l.String() ("⊥" for NoLoc, decimal otherwise).
+func appendLoc(dst []byte, l ioa.Loc) []byte {
+	if l == ioa.NoLoc {
+		return append(dst, "⊥"...)
+	}
+	return strconv.AppendInt(dst, int64(l), 10)
+}

@@ -1,0 +1,72 @@
+package system
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+// TestAppendEncodeMatchesEncode drives each AppendEncoder automaton through
+// representative states and asserts AppendEncode appends exactly Encode()'s
+// bytes — the explorer's interned keys depend on the two agreeing.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	ch := NewChannel(0, 1)
+	chFull := NewChannel(2, 0)
+	chFull.Input(ioa.Send(2, 0, "a"))
+	chFull.Input(ioa.Send(2, 0, "b|c\x1fd"))
+
+	cr := NewCrash(CrashOf(0, 2))
+	crFired := NewCrash(CrashOf(1))
+	crFired.Fire(ioa.Crash(1))
+
+	env := NewConsensusEnv(0)
+	envFixed := NewConsensusEnvFixed(1, 1)
+	envStopped := NewConsensusEnv(2)
+	envStopped.Input(ioa.Crash(2))
+
+	proc := NewProc("echo", 0, 2, &echoMachine{n: 2, self: 0}, []string{"FD-Ω"}, []string{"propose"})
+	procBusy := NewProc("echo", 1, 2, &echoMachine{n: 2, self: 1}, []string{"FD-Ω"}, []string{"propose"})
+	procBusy.Input(ioa.Receive(1, 0, "hello"))
+
+	for _, a := range []ioa.Automaton{
+		ch, chFull, cr, crFired, NewCrash(NoFaults()),
+		env, envFixed, envStopped, proc, procBusy,
+	} {
+		ae, ok := a.(ioa.AppendEncoder)
+		if !ok {
+			t.Fatalf("%s: not an AppendEncoder", a.Name())
+		}
+		if got, want := string(ae.AppendEncode(nil)), a.Encode(); got != want {
+			t.Errorf("%s: AppendEncode = %q, want %q", a.Name(), got, want)
+		}
+	}
+}
+
+// TestSystemAppendEncodeOnDrivenComposition checks the composed encoding on
+// a real system after events have fired.
+func TestSystemAppendEncodeOnDrivenComposition(t *testing.T) {
+	autos := []ioa.Automaton{
+		NewProc("echo", 0, 2, &echoMachine{n: 2, self: 0}, nil, []string{"propose"}),
+	}
+	autos = append(autos, Channels(2)...)
+	autos = append(autos, NewConsensusEnv(0), NewConsensusEnvFixed(1, 0))
+	sys := ioa.MustNewSystem(autos...)
+	check := func() {
+		t.Helper()
+		if got, want := string(sys.AppendEncode(nil)), sys.Encode(); got != want {
+			t.Fatalf("system AppendEncode = %q, want %q", got, want)
+		}
+		if got, want := sys.EncodeHash(), ioa.HashBytes(ioa.HashSeed, []byte(sys.Encode())); got != want {
+			t.Fatalf("EncodeHash = %#x, want %#x", got, want)
+		}
+	}
+	check()
+	for i := 0; i < 20; i++ {
+		idx, ok := sys.NextReady(-1)
+		if !ok {
+			break
+		}
+		sys.Step(sys.TaskAt(idx))
+		check()
+	}
+}

@@ -11,7 +11,6 @@ package trace
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/ioa"
 )
@@ -243,10 +242,18 @@ func IsConstrainedReordering(r, t T) error {
 	return nil
 }
 
+// Rand is the minimal random source the trace generators draw from.  Both
+// *math/rand.Rand and sched.PRNG satisfy it; deterministic artifacts (bench
+// pins, chaos replays) should pass the latter, whose stream is stable across
+// Go releases.
+type Rand interface {
+	Intn(n int) int
+}
+
 // GenSampling produces a random sampling of t (per Section 3.2) using rng:
 // for each faulty location it truncates a random suffix of that location's
 // outputs and drops a random subset of the non-first crash events.
-func GenSampling(t T, n int, isOutput func(ioa.Action) bool, rng *rand.Rand) T {
+func GenSampling(t T, n int, isOutput func(ioa.Action) bool, rng Rand) T {
 	faulty := Faulty(t)
 	// Choose a cut-off for outputs at each faulty location.
 	cut := make(map[ioa.Loc]int)
@@ -283,7 +290,7 @@ func GenSampling(t T, n int, isOutput func(ioa.Action) bool, rng *rand.Rand) T {
 // GenConstrainedReordering produces a random constrained reordering of t:
 // it repeatedly picks, uniformly among the events all of whose t-predecessors
 // under the order constraints have been emitted, the next event to emit.
-func GenConstrainedReordering(t T, rng *rand.Rand) T {
+func GenConstrainedReordering(t T, rng Rand) T {
 	n := len(t)
 	// preds[y] = indices x < y with a constraint x before y.
 	preds := make([][]int, n)

@@ -23,10 +23,10 @@ func (e *Explorer) WriteDOT(w io.Writer, maxNodes int) error {
 		id := queue[0]
 		queue = queue[1:]
 		order = append(order, id)
-		for _, ed := range e.nodes[id].edges {
-			if !include[ed.to] && len(include) < maxNodes {
-				include[ed.to] = true
-				queue = append(queue, ed.to)
+		for _, ed := range e.Edges(id) {
+			if !include[ed.To] && len(include) < maxNodes {
+				include[ed.To] = true
+				queue = append(queue, ed.To)
 			}
 		}
 	}
@@ -45,26 +45,26 @@ func (e *Explorer) WriteDOT(w io.Writer, maxNodes int) error {
 		case ValOne:
 			color = "palegreen"
 		}
-		label := fmt.Sprintf("%d\\nfd=%d", id, e.nodes[id].fdIdx)
+		label := fmt.Sprintf("%d\\nfd=%d", id, e.fdIdx[id])
 		if id == e.Root() {
 			label = "⊤\\n" + label
 		}
 		fmt.Fprintf(w, "  n%d [fillcolor=%s, label=\"%s\"];\n", id, color, label)
 	}
 	for _, id := range order {
-		for _, ed := range e.nodes[id].edges {
-			if !include[ed.to] {
+		for _, ed := range e.Edges(id) {
+			if !include[ed.To] {
 				continue
 			}
 			attrs := ""
-			if ed.label == LabelFD {
+			if ed.Label == LabelFD {
 				attrs = ", style=dashed"
 			}
-			if _, ok := decideBit(ed.act); ok {
+			if _, ok := decideBit(ed.Act); ok {
 				attrs = ", color=red, penwidth=2"
 			}
 			fmt.Fprintf(w, "  n%d -> n%d [label=\"%s\", fontsize=7%s];\n",
-				id, ed.to, dotEscape(ed.act.String()), attrs)
+				id, ed.To, dotEscape(ed.Act.String()), attrs)
 		}
 	}
 	_, err := fmt.Fprintln(w, "}")

@@ -2,8 +2,8 @@ package valence
 
 import (
 	"fmt"
-
 	"strings"
+	"sync"
 
 	"repro/internal/ioa"
 	"repro/internal/trace"
@@ -30,9 +30,9 @@ func (h Hook) String() string {
 
 // childVia returns the target of node id's edge labeled l, if present.
 func (e *Explorer) childVia(id NodeID, l Label) (NodeID, ioa.Action, bool) {
-	for _, ed := range e.nodes[id].edges {
-		if ed.label == l {
-			return ed.to, ed.act, true
+	for _, ed := range e.Edges(id) {
+		if ed.Label == l {
+			return ed.To, ed.Act, true
 		}
 	}
 	return 0, ioa.Action{}, false
@@ -40,21 +40,84 @@ func (e *Explorer) childVia(id NodeID, l Label) (NodeID, ioa.Action, bool) {
 
 // FindHooks scans the explored graph for hooks, up to the given count
 // (0 = all).  Per Lemma 55 at least one exists whenever the root is
-// bivalent and tD crashes at most f locations.
+// bivalent and tD crashes at most f locations.  The scan parallelizes over
+// node ranges when Config.Workers allows, but the returned slice is always
+// the exact prefix the serial node-order scan would produce.
 func (e *Explorer) FindHooks(limit int) []Hook {
+	n := len(e.fdIdx)
+	w := e.cfg.workers()
+	if w <= 1 || n < 4096 {
+		return e.findHooksRange(0, n, limit)
+	}
+	// Chunk the ID space; process chunks in ascending batches so we can
+	// stop as soon as the completed prefix satisfies the limit, and
+	// concatenate in chunk order to preserve the serial output exactly.
+	numChunks := w * 4
+	chunk := (n + numChunks - 1) / numChunks
+	results := make([][]Hook, numChunks)
+	processed := 0
+	for batch := 0; batch*w < numChunks; batch++ {
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			ci := batch*w + i
+			if ci >= numChunks {
+				break
+			}
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				lo := ci * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if lo < hi {
+					results[ci] = e.findHooksRange(lo, hi, limit)
+				}
+			}(ci)
+		}
+		wg.Wait()
+		processed = batch*w + w
+		if processed > numChunks {
+			processed = numChunks
+		}
+		if limit > 0 {
+			total := 0
+			for ci := 0; ci < processed; ci++ {
+				total += len(results[ci])
+			}
+			if total >= limit {
+				break
+			}
+		}
+	}
 	var out []Hook
-	for id := range e.nodes {
+	for ci := 0; ci < processed; ci++ {
+		out = append(out, results[ci]...)
+		if limit > 0 && len(out) >= limit {
+			out = out[:limit]
+			break
+		}
+	}
+	return out
+}
+
+// findHooksRange is the serial hook scan over node IDs [lo, hi).
+func (e *Explorer) findHooksRange(lo, hi, limit int) []Hook {
+	var out []Hook
+	for id := lo; id < hi; id++ {
 		n := NodeID(id)
 		if e.Valence(n) != ValBivalent {
 			continue
 		}
-		for _, le := range e.nodes[n].edges {
-			lv := e.Valence(le.to)
+		nEdges := e.Edges(n)
+		for _, le := range nEdges {
+			lv := e.Valence(le.To)
 			if lv != ValZero && lv != ValOne {
 				continue
 			}
-			for _, re := range e.nodes[n].edges {
-				if re.label == le.label {
+			for _, re := range nEdges {
+				if re.Label == le.Label {
 					continue
 				}
 				// Lemma 56 requires N's own l- and r-edges to be non-⊥,
@@ -62,16 +125,16 @@ func (e *Explorer) FindHooks(limit int) []Hook {
 				// propose task disabled by the r-edge's propose): a ⊥
 				// edge is a self-loop, so the grandchild is the r-child
 				// itself.
-				rl, _, ok := e.childVia(re.to, le.label)
+				rl, _, ok := e.childVia(re.To, le.Label)
 				if !ok {
-					rl = re.to
+					rl = re.To
 				}
 				rlv := e.Valence(rl)
 				if (lv == ValZero && rlv == ValOne) || (lv == ValOne && rlv == ValZero) {
 					h := Hook{
-						Node: n, L: le.label, R: re.label,
-						LAct: le.act, RAct: re.act,
-						V: lv, Critical: le.act.Loc,
+						Node: n, L: le.Label, R: re.Label,
+						LAct: le.Act, RAct: re.Act,
+						V: lv, Critical: le.Act.Loc,
 					}
 					out = append(out, h)
 					if limit > 0 && len(out) >= limit {
@@ -110,18 +173,19 @@ func (e *Explorer) VerifyHook(h Hook) error {
 // graph: a v-valent node has only v-valent descendants (children's masks are
 // subsets of their parents').
 func (e *Explorer) CheckLemma52() error {
-	for id, n := range e.nodes {
-		for _, ed := range n.edges {
-			child := e.nodes[ed.to].mask
+	for id := range e.fdIdx {
+		m := e.mask[id]
+		for _, ed := range e.Edges(NodeID(id)) {
+			child := e.mask[ed.To]
 			// The parent's reachable set includes the edge's own decide
 			// contribution plus the child's set.
 			var bit uint8
-			if b, ok := decideBit(ed.act); ok {
+			if b, ok := decideBit(ed.Act); ok {
 				bit = b
 			}
-			if n.mask|child|bit != n.mask {
+			if m|child|bit != m {
 				return fmt.Errorf("valence: node %d mask %b missing child %d mask %b (Lemma 52)",
-					id, n.mask, ed.to, child)
+					id, m, ed.To, child)
 			}
 		}
 	}
@@ -131,14 +195,14 @@ func (e *Explorer) CheckLemma52() error {
 // CheckProposition50 verifies that no bivalent node is entered via a decide
 // edge: once a decision value appears in exe(N), N cannot be bivalent.
 func (e *Explorer) CheckProposition50() error {
-	for id, n := range e.nodes {
-		for _, ed := range n.edges {
-			if _, ok := decideBit(ed.act); !ok {
+	for id := range e.fdIdx {
+		for _, ed := range e.Edges(NodeID(id)) {
+			if _, ok := decideBit(ed.Act); !ok {
 				continue
 			}
-			if e.Valence(ed.to) == ValBivalent {
+			if e.Valence(ed.To) == ValBivalent {
 				return fmt.Errorf("valence: bivalent node %d reached via decide edge from %d (Proposition 50)",
-					ed.to, id)
+					ed.To, id)
 			}
 		}
 	}
@@ -205,9 +269,9 @@ func (e *Explorer) BivalencePath() (length int, cyclic bool) {
 		}
 		seen[cur] = true
 		next := NodeID(-1)
-		for _, ed := range e.nodes[cur].edges {
-			if e.Valence(ed.to) == ValBivalent {
-				next = ed.to
+		for _, ed := range e.Edges(cur) {
+			if e.Valence(ed.To) == ValBivalent {
+				next = ed.To
 				break
 			}
 		}

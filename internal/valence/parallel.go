@@ -1,0 +1,407 @@
+package valence
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ioa"
+)
+
+// Parallel frontier exploration.
+//
+// Workers pop nodes off a shared frontier, expand them (clone + apply per
+// enabled edge, exactly as the serial path), and memoize children in a
+// sharded index keyed by the collision-checked state hash.  Discovery order
+// is scheduling-dependent, so provisional nodes carry no IDs at all; once
+// the frontier drains, a serial-BFS renumbering pass walks the recorded
+// edges — whose per-node order (FD first, then tasks by ascending label) is
+// deterministic — and assigns final NodeIDs in exactly the order the serial
+// explorer would have created them.  The flattened tables are therefore
+// byte-identical to the serial explorer's at any worker count.
+
+const shardBits = 7 // 128 shards
+
+// pnode is a provisionally discovered node: identity is the pointer until
+// renumbering assigns the final NodeID.
+type pnode struct {
+	enc   []byte // interned encoding (chunk-stable, see shardArena)
+	fd    int32
+	final int32       // final NodeID; -1 until renumbered
+	sys   *ioa.System // retained until expanded
+	edges []pedge     // out-edges in deterministic per-node order
+}
+
+type pedge struct {
+	label Label
+	act   ioa.Action
+	to    *pnode
+}
+
+// shardArena interns encodings in fixed chunks so stored slices stay valid
+// as more bytes arrive (append-grow would reallocate under readers).
+type shardArena struct {
+	cur []byte
+}
+
+func (a *shardArena) put(b []byte) []byte {
+	if cap(a.cur)-len(a.cur) < len(b) {
+		size := 1 << 20
+		if len(b) > size {
+			size = len(b)
+		}
+		a.cur = make([]byte, 0, size)
+	}
+	start := len(a.cur)
+	a.cur = append(a.cur, b...)
+	return a.cur[start:len(a.cur):len(a.cur)]
+}
+
+// shard is one lock stripe of the concurrent memo index.
+type shard struct {
+	mu    sync.Mutex
+	index map[uint64][]*pnode
+	arena shardArena
+}
+
+// pqueue is the shared frontier: LIFO (reduces resident frontier size;
+// order is irrelevant thanks to renumbering) with inflight-count
+// termination detection.
+type pqueue struct {
+	mu       sync.Mutex
+	cond     sync.Cond
+	items    []*pnode
+	inflight int
+	stopped  bool
+}
+
+func (q *pqueue) push(n *pnode) {
+	q.mu.Lock()
+	q.items = append(q.items, n)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// pop blocks until an item is available; returns false when exploration is
+// over (frontier empty with no expansion in flight, or stopped).
+func (q *pqueue) pop() (*pnode, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.stopped {
+			return nil, false
+		}
+		if n := len(q.items); n > 0 {
+			it := q.items[n-1]
+			q.items = q.items[:n-1]
+			q.inflight++
+			return it, true
+		}
+		if q.inflight == 0 {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *pqueue) finish() {
+	q.mu.Lock()
+	q.inflight--
+	if q.inflight == 0 && len(q.items) == 0 {
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+func (q *pqueue) stop() {
+	q.mu.Lock()
+	q.stopped = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+type parExplorer struct {
+	e      *Explorer
+	shards []shard
+	queue  pqueue
+	nodes  atomic.Int64
+	edges  atomic.Int64
+	cancel atomic.Bool
+
+	errOnce sync.Once
+	err     error // published by errOnce, read after workers join
+
+	progMu   sync.Mutex
+	progNext int64
+}
+
+func (p *parExplorer) fail(err error) {
+	p.errOnce.Do(func() { p.err = err })
+	p.cancel.Store(true)
+	p.queue.stop()
+}
+
+func (e *Explorer) exploreParallel(workers int) error {
+	p := &parExplorer{
+		e:        e,
+		shards:   make([]shard, 1<<shardBits),
+		progNext: int64(e.cfg.progressEvery()),
+	}
+	for i := range p.shards {
+		p.shards[i].index = make(map[uint64][]*pnode)
+	}
+	p.queue.cond.L = &p.queue.mu
+
+	root := e.rootSys.CloneBare()
+	buf := root.AppendEncode(nil)
+	h := stateHash(buf, 0)
+	sh := &p.shards[h>>(64-shardBits)]
+	rn := &pnode{enc: sh.arena.put(buf), final: -1, sys: root}
+	sh.index[h] = append(sh.index[h], rn)
+	p.nodes.Store(1)
+	p.queue.push(rn)
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.worker()
+		}()
+	}
+	wg.Wait()
+	if p.err != nil {
+		return p.err
+	}
+	if e.cfg.Progress != nil {
+		if !e.cfg.Progress(Progress{Nodes: p.nodes.Load(), Edges: p.edges.Load(), Done: true}) {
+			return ErrCanceled
+		}
+	}
+	e.renumber(rn, int(p.nodes.Load()), int(p.edges.Load()))
+	return nil
+}
+
+func (p *parExplorer) worker() {
+	var buf []byte
+	for {
+		n, ok := p.queue.pop()
+		if !ok {
+			return
+		}
+		buf = p.expand(n, buf)
+		p.queue.finish()
+	}
+}
+
+// expand mirrors the serial expansion exactly: FD edge first, then tasks in
+// label order; ⊥ edges omitted.
+func (p *parExplorer) expand(n *pnode, buf []byte) []byte {
+	sys := n.sys
+	n.sys = nil
+	if p.cancel.Load() {
+		return buf
+	}
+	if fd := int(n.fd); fd < len(p.e.cfg.TD) {
+		act := p.e.cfg.TD[fd]
+		child := sys.CloneBare()
+		child.Apply(-1, act)
+		buf = p.link(n, LabelFD, act, child, fd+1, buf)
+	}
+	for li, tr := range p.e.tasks {
+		if p.cancel.Load() {
+			return buf
+		}
+		act, ok := sys.Enabled(tr)
+		if !ok {
+			continue
+		}
+		child := sys.CloneBare()
+		child.Apply(tr.Auto, act)
+		buf = p.link(n, Label(li), act, child, int(n.fd), buf)
+	}
+	return buf
+}
+
+func (p *parExplorer) link(from *pnode, l Label, act ioa.Action, child *ioa.System, fd int, buf []byte) []byte {
+	buf = child.AppendEncode(buf[:0])
+	h := stateHash(buf, fd)
+	sh := &p.shards[h>>(64-shardBits)]
+	sh.mu.Lock()
+	var to *pnode
+	for _, cand := range sh.index[h] {
+		if int(cand.fd) == fd && bytes.Equal(cand.enc, buf) {
+			to = cand
+			break
+		}
+	}
+	if to == nil {
+		created := p.nodes.Add(1)
+		if created > int64(p.e.cfg.maxNodes()) {
+			sh.mu.Unlock()
+			p.fail(&ErrStateSpaceCap{Cap: p.e.cfg.maxNodes(), Nodes: int(created - 1)})
+			return buf
+		}
+		to = &pnode{enc: sh.arena.put(buf), fd: int32(fd), final: -1, sys: child}
+		sh.index[h] = append(sh.index[h], to)
+		sh.mu.Unlock()
+		p.queue.push(to)
+		p.maybeProgress(created)
+	} else {
+		sh.mu.Unlock()
+	}
+	from.edges = append(from.edges, pedge{label: l, act: act, to: to})
+	p.edges.Add(1)
+	return buf
+}
+
+// maybeProgress serializes Progress callbacks across workers; a false return
+// cancels the whole exploration.
+func (p *parExplorer) maybeProgress(created int64) {
+	if p.e.cfg.Progress == nil {
+		return
+	}
+	p.progMu.Lock()
+	if created < p.progNext {
+		p.progMu.Unlock()
+		return
+	}
+	p.progNext = created + int64(p.e.cfg.progressEvery())
+	ok := p.e.cfg.Progress(Progress{Nodes: created, Edges: p.edges.Load()})
+	p.progMu.Unlock()
+	if !ok {
+		p.fail(ErrCanceled)
+	}
+}
+
+// renumber assigns final NodeIDs by serial BFS over the recorded edges and
+// flattens the provisional graph into the explorer's SoA tables.  Because
+// each node's edge list is in deterministic order and the serial explorer
+// assigns IDs in exactly first-touch BFS order, the result is identical to
+// a serial exploration.
+func (e *Explorer) renumber(root *pnode, nNodes, nEdges int) {
+	order := make([]*pnode, 0, nNodes)
+	root.final = 0
+	order = append(order, root)
+	for i := 0; i < len(order); i++ {
+		for _, ed := range order[i].edges {
+			if ed.to.final < 0 {
+				ed.to.final = int32(len(order))
+				order = append(order, ed.to)
+			}
+		}
+	}
+	n := len(order)
+	e.fdIdx = make([]int32, n)
+	e.mask = make([]uint8, n)
+	e.encOff = make([]int64, n)
+	e.encLen = make([]int32, n)
+	e.estart = make([]int64, n+1)
+	e.edges = make([]Edge, 0, nEdges)
+	var total int
+	for _, pn := range order {
+		total += len(pn.enc)
+	}
+	e.arena = make([]byte, 0, total)
+	for i, pn := range order {
+		e.fdIdx[i] = pn.fd
+		e.encOff[i] = int64(len(e.arena))
+		e.encLen[i] = int32(len(pn.enc))
+		e.arena = append(e.arena, pn.enc...)
+		e.estart[i] = int64(len(e.edges))
+		for _, ed := range pn.edges {
+			e.edges = append(e.edges, Edge{Label: ed.label, Act: ed.act, To: NodeID(ed.to.final)})
+		}
+	}
+	e.estart[n] = int64(len(e.edges))
+}
+
+// Parallel valence fixpoints.
+//
+// Both propagations are monotone over the mask lattice, so the least
+// fixpoint is unique and any evaluation order converges to it — the
+// round-based solvers below therefore produce exactly the serial worklist's
+// masks.  Each round partitions nodes into contiguous ranges; a node's mask
+// is written only by the worker owning its range (single-writer), and
+// cross-range reads go through atomics, so the solver is race-free.
+
+// runRounds drives per-range sweeps until a full round changes nothing.
+func runRounds(n, workers int, sweep func(lo, hi int) bool) {
+	chunk := (n + workers - 1) / workers
+	for {
+		var changed atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= n {
+				break
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				if sweep(lo, hi) {
+					changed.Store(true)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		if !changed.Load() {
+			return
+		}
+	}
+}
+
+func (e *Explorer) propagateFutureParallel(r *reverse, workers int) {
+	n := len(e.fdIdx)
+	masks := make([]uint32, n)
+	// Sweep descending: successors typically carry higher IDs, so within a
+	// round most reads already see this round's values and long forward
+	// chains collapse into few rounds.
+	runRounds(n, workers, func(lo, hi int) bool {
+		changed := false
+		for id := hi - 1; id >= lo; id-- {
+			m := atomic.LoadUint32(&masks[id])
+			nm := m
+			for k := e.estart[id]; k < e.estart[id+1]; k++ {
+				nm |= uint32(r.ebit[k]) | atomic.LoadUint32(&masks[e.edges[k].To])
+			}
+			if nm != m {
+				atomic.StoreUint32(&masks[id], nm)
+				changed = true
+			}
+		}
+		return changed
+	})
+	for i := 0; i < n; i++ {
+		e.mask[i] = uint8(masks[i])
+	}
+}
+
+func (e *Explorer) propagatePastParallel(r *reverse, workers int) {
+	n := len(e.fdIdx)
+	past := make([]uint32, n)
+	// Sweep ascending over the reverse CSR: predecessors typically carry
+	// lower IDs, the mirror argument of the future sweep.
+	runRounds(n, workers, func(lo, hi int) bool {
+		changed := false
+		for id := lo; id < hi; id++ {
+			m := atomic.LoadUint32(&past[id])
+			nm := m
+			for k := r.start[id]; k < r.start[id+1]; k++ {
+				nm |= uint32(r.bit[k]) | atomic.LoadUint32(&past[r.pred[k]])
+			}
+			if nm != m {
+				atomic.StoreUint32(&past[id], nm)
+				changed = true
+			}
+		}
+		return changed
+	})
+	for i := 0; i < n; i++ {
+		e.mask[i] |= uint8(past[i])
+	}
+}

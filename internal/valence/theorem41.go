@@ -1,6 +1,7 @@
 package valence
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/ioa"
@@ -23,10 +24,10 @@ func (e *Explorer) ExePath(id NodeID) []ioa.Action {
 		if cur == id {
 			break
 		}
-		for _, ed := range e.nodes[cur].edges {
-			if _, seen := parent[ed.to]; !seen {
-				parent[ed.to] = via{from: cur, act: ed.act}
-				queue = append(queue, ed.to)
+		for _, ed := range e.Edges(cur) {
+			if _, seen := parent[ed.To]; !seen {
+				parent[ed.To] = via{from: cur, act: ed.Act}
+				queue = append(queue, ed.To)
 			}
 		}
 	}
@@ -73,39 +74,39 @@ func EqualToDepth(e1, e2 *Explorer, depth int, maxPairs int) error {
 		}
 		seen[[2]NodeID{p.a, p.b}] = true
 
-		na, nb := e1.nodes[p.a], e2.nodes[p.b]
-		if na.key.enc != nb.key.enc {
-			return fmt.Errorf("valence: states diverge at depth %d:\n  %q\n  %q", p.d, na.key.enc, nb.key.enc)
+		ea, eb := e1.nodeEnc(p.a), e2.nodeEnc(p.b)
+		if !bytes.Equal(ea, eb) {
+			return fmt.Errorf("valence: states diverge at depth %d:\n  %q\n  %q", p.d, ea, eb)
 		}
 		if p.d >= depth {
 			continue
 		}
 		// Compare outgoing edges label by label.
-		ea := edgesByLabel(na)
-		eb := edgesByLabel(nb)
-		for l, ra := range ea {
-			rb, ok := eb[l]
+		ma := edgesByLabel(e1, p.a)
+		mb := edgesByLabel(e2, p.b)
+		for l, ra := range ma {
+			rb, ok := mb[l]
 			if !ok {
-				return fmt.Errorf("valence: depth %d: label %v enabled only in the first tree (action %v)", p.d, l, ra.act)
+				return fmt.Errorf("valence: depth %d: label %v enabled only in the first tree (action %v)", p.d, l, ra.Act)
 			}
-			if ra.act != rb.act {
-				return fmt.Errorf("valence: depth %d: label %v has actions %v vs %v", p.d, l, ra.act, rb.act)
+			if ra.Act != rb.Act {
+				return fmt.Errorf("valence: depth %d: label %v has actions %v vs %v", p.d, l, ra.Act, rb.Act)
 			}
-			queue = append(queue, pair{ra.to, rb.to, p.d + 1})
+			queue = append(queue, pair{ra.To, rb.To, p.d + 1})
 		}
-		for l, rb := range eb {
-			if _, ok := ea[l]; !ok {
-				return fmt.Errorf("valence: depth %d: label %v enabled only in the second tree (action %v)", p.d, l, rb.act)
+		for l, rb := range mb {
+			if _, ok := ma[l]; !ok {
+				return fmt.Errorf("valence: depth %d: label %v enabled only in the second tree (action %v)", p.d, l, rb.Act)
 			}
 		}
 	}
 	return nil
 }
 
-func edgesByLabel(n *node) map[Label]edge {
-	out := make(map[Label]edge, len(n.edges))
-	for _, ed := range n.edges {
-		out[ed.label] = ed
+func edgesByLabel(e *Explorer, id NodeID) map[Label]Edge {
+	out := make(map[Label]Edge, e.estart[id+1]-e.estart[id])
+	for _, ed := range e.Edges(id) {
+		out[ed.Label] = ed
 	}
 	return out
 }

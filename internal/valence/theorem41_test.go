@@ -56,8 +56,8 @@ func TestExePathRealizesNode(t *testing.T) {
 	// encoding must match the node's key (Proposition 29: exe(N) ends in
 	// state cN).
 	var target NodeID = -1
-	for id := range e.nodes {
-		if len(e.nodes[NodeID(id)].edges) == 0 { // a terminal node
+	for id := 0; id < e.NumNodes(); id++ {
+		if len(e.Edges(NodeID(id))) == 0 { // a terminal node
 			target = NodeID(id)
 			break
 		}
@@ -97,7 +97,7 @@ func TestExePathRealizesNode(t *testing.T) {
 		}
 		sys.Apply(owner, act)
 	}
-	if sys.Encode() != e.nodes[target].key.enc {
+	if sys.Encode() != string(e.nodeEnc(target)) {
 		t.Fatal("replayed execution does not end in the node's config tag (Proposition 29)")
 	}
 }

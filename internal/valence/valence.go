@@ -16,10 +16,21 @@
 // the crash and failure-detector automata: both crash events and detector
 // outputs are injected by the FD edge from the fixed admissible sequence tD
 // over Iˆ ∪ OD, exactly as Section 8.2 tags the tree.
+//
+// Exploration is parallel by default (Config.Workers) and byte-identical to
+// the serial reference at every worker count: workers expand the frontier
+// against a sharded memo index keyed by a collision-checked 64-bit state
+// hash, and a deterministic renumbering pass reassigns final NodeIDs in
+// serial-BFS order, so Stats, valences, DOT output, and hook reports never
+// depend on scheduling.  Node and edge storage is struct-of-arrays over
+// shared arenas (one byte arena interns each distinct state encoding once).
 package valence
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"runtime"
 
 	"repro/internal/consensus"
 	"repro/internal/ioa"
@@ -83,24 +94,38 @@ func maskToValence(m uint8) Valence {
 // NodeID indexes a node of the explored graph.
 type NodeID int
 
-type edge struct {
-	label Label
-	act   ioa.Action
-	to    NodeID
+// Edge is one outgoing edge of a node: the edge's label, its action tag, and
+// the target node.
+type Edge struct {
+	Label Label
+	Act   ioa.Action
+	To    NodeID
 }
 
-type node struct {
-	key   nodeKey
-	sys   *ioa.System // retained until expanded, then released
-	fdIdx int
-	edges []edge
-	mask  uint8
-	preds []NodeID
+// ErrStateSpaceCap reports that exploration created more nodes than
+// Config.MaxNodes allows.  Nodes carries the partial count at the moment the
+// cap was hit, so callers can distinguish "state space genuinely larger than
+// the budget" from other failures and re-run with a raised cap.
+type ErrStateSpaceCap struct {
+	Cap   int // the configured cap
+	Nodes int // nodes created when the cap was hit
 }
 
-type nodeKey struct {
-	enc string
-	fd  int
+// Error implements error.
+func (e *ErrStateSpaceCap) Error() string {
+	return fmt.Sprintf("valence: state space exceeds cap %d (%d nodes created)", e.Cap, e.Nodes)
+}
+
+// ErrCanceled is returned by Explore when the Progress hook requests an
+// abort by returning false.
+var ErrCanceled = errors.New("valence: exploration canceled by Progress hook")
+
+// Progress is a snapshot of a running exploration, delivered to the
+// Config.Progress hook.
+type Progress struct {
+	Nodes int64 // nodes created so far
+	Edges int64 // edges created so far
+	Done  bool  // set on the final report, after expansion completed
 }
 
 // Config configures an exploration.
@@ -122,9 +147,24 @@ type Config struct {
 	// 4).  nil frees every location.  Root bivalence needs at least one
 	// free location whose proposal can swing the decision.
 	Values []int
-	// MaxNodes caps the exploration (default 200_000).  Exceeding the cap
-	// fails Explore: valence computation needs the full reachable graph.
+	// MaxNodes caps the exploration (default 200_000).  The cap is checked
+	// as nodes are created; exceeding it fails Explore with
+	// *ErrStateSpaceCap (valence computation needs the full reachable
+	// graph).
 	MaxNodes int
+	// Workers is the number of exploration workers.  0 (the default) uses
+	// runtime.GOMAXPROCS(0); 1 forces the serial reference path.  Explored
+	// graphs are byte-identical at every worker count.
+	Workers int
+	// Progress, when non-nil, is called approximately every ProgressEvery
+	// created nodes during expansion, and once more (Done=true) when
+	// expansion completes.  Returning false cancels the exploration:
+	// Explore returns ErrCanceled.  Calls are serialized; the hook never
+	// runs concurrently with itself.
+	Progress func(Progress) bool
+	// ProgressEvery is the node interval between Progress calls
+	// (default 50_000).
+	ProgressEvery int
 }
 
 func (c Config) maxNodes() int {
@@ -134,13 +174,44 @@ func (c Config) maxNodes() int {
 	return c.MaxNodes
 }
 
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) progressEvery() int {
+	if c.ProgressEvery > 0 {
+		return c.ProgressEvery
+	}
+	return 50_000
+}
+
 // Explorer holds the explored quotient of RtD.
+//
+// After Explore the graph lives in struct-of-arrays form: per-node columns
+// (fdIdx, mask, interned encoding references) plus one shared edge arena in
+// CSR layout (estart[id] .. estart[id+1] index the node's out-edges, in FD-
+// edge-first, ascending-task-label order).  NodeIDs are serial-BFS order
+// regardless of how many workers explored.
 type Explorer struct {
-	cfg    Config
-	nodes  []*node
-	index  map[nodeKey]NodeID
-	labels []string // label names for reporting; index by task order
-	tasks  []ioa.TaskRef
+	cfg     Config
+	labels  []string // label names for reporting; index by task order
+	tasks   []ioa.TaskRef
+	rootSys *ioa.System // pristine root state; Explore starts from a clone
+	done    bool
+
+	// Per-node columns.
+	fdIdx  []int32
+	mask   []uint8
+	encOff []int64
+	encLen []int32
+	// Interned state encodings: each distinct encoding stored once.
+	arena []byte
+	// CSR edge arena.
+	estart []int64
+	edges  []Edge
 }
 
 // New builds the root system (consensus algorithm + channels + environment,
@@ -172,17 +243,11 @@ func New(cfg Config) (*Explorer, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Explorer{
-		cfg:   cfg,
-		index: make(map[nodeKey]NodeID),
-	}
+	e := &Explorer{cfg: cfg, rootSys: sys}
 	for _, tr := range sys.Tasks() {
 		e.tasks = append(e.tasks, tr)
 		e.labels = append(e.labels, sys.TaskLabel(tr))
 	}
-	root := &node{key: nodeKey{enc: sys.Encode(), fd: 0}, sys: sys.CloneBare()}
-	e.nodes = append(e.nodes, root)
-	e.index[root.key] = 0
 	return e, nil
 }
 
@@ -195,70 +260,196 @@ func (e *Explorer) LabelName(l Label) string {
 }
 
 // NumNodes returns the number of distinct explored nodes.
-func (e *Explorer) NumNodes() int { return len(e.nodes) }
+func (e *Explorer) NumNodes() int { return len(e.fdIdx) }
+
+// NumEdges returns the number of explored edges.
+func (e *Explorer) NumEdges() int { return len(e.edges) }
 
 // Root returns the root node's ID.
 func (e *Explorer) Root() NodeID { return 0 }
 
 // Valence returns the valence of a node (after Explore).
-func (e *Explorer) Valence(id NodeID) Valence { return maskToValence(e.nodes[id].mask) }
+func (e *Explorer) Valence(id NodeID) Valence { return maskToValence(e.mask[id]) }
 
-// Explore expands the full reachable graph and computes valences.
+// Edges returns node id's out-edges in deterministic order: the FD edge
+// first (if enabled), then task edges by ascending label.  The returned
+// slice aliases the explorer's edge arena; callers must not modify it.
+func (e *Explorer) Edges(id NodeID) []Edge {
+	return e.edges[e.estart[id]:e.estart[id+1]]
+}
+
+// NodeFD returns the FD-sequence index tag of node id.
+func (e *Explorer) NodeFD(id NodeID) int { return int(e.fdIdx[id]) }
+
+// nodeEnc returns node id's interned state encoding (the config tag).
+func (e *Explorer) nodeEnc(id NodeID) []byte {
+	off := e.encOff[id]
+	return e.arena[off : off+int64(e.encLen[id])]
+}
+
+// stateHash fingerprints a node key (state encoding, FD index).  Collisions
+// are legal — the memo index confirms every hit against the interned
+// encoding — but the final avalanche keeps shard selection uniform.
+func stateHash(enc []byte, fd int) uint64 {
+	h := ioa.HashBytes(ioa.HashSeed, enc)
+	h ^= uint64(fd)*0x9e3779b97f4a7c15 + 0x1000193
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	return h ^ h>>31
+}
+
+// Explore expands the full reachable graph and computes valences.  It hits
+// every reachable node exactly once; re-exploring requires a fresh Explorer.
 func (e *Explorer) Explore() error {
-	// Phase 1: breadth-first expansion with memoization.
-	for next := 0; next < len(e.nodes); next++ {
-		if len(e.nodes) > e.cfg.maxNodes() {
-			return fmt.Errorf("valence: state space exceeds cap %d", e.cfg.maxNodes())
-		}
-		if err := e.expand(NodeID(next)); err != nil {
-			return err
-		}
+	if e.done {
+		return errors.New("valence: Explore called twice")
 	}
-	// Phase 2: backward fixpoint of reachable decision values.
+	// Phase 1: frontier expansion with memoization (parallel workers when
+	// configured; identical final tables either way).
+	var err error
+	if w := e.cfg.workers(); w > 1 {
+		err = e.exploreParallel(w)
+	} else {
+		err = e.exploreSerial()
+	}
+	if err != nil {
+		return err
+	}
+	e.done = true
+	// Phase 2: forward and backward fixpoints of reachable decision values.
 	e.propagate()
 	return nil
 }
 
-// expand computes all non-⊥ outgoing edges of node id.
-func (e *Explorer) expand(id NodeID) error {
-	n := e.nodes[id]
-	sys := n.sys
-	if sys == nil {
-		return fmt.Errorf("valence: node %d already expanded", id)
-	}
-	// FD edge: the head of the remaining tD, if any (Section 8.2).
-	if n.fdIdx < len(e.cfg.TD) {
-		act := e.cfg.TD[n.fdIdx]
-		child := sys.CloneBare()
-		child.Apply(-1, act)
-		e.link(id, LabelFD, act, child, n.fdIdx+1)
-	}
-	// Task edges.
-	for li, tr := range e.tasks {
-		act, ok := sys.Enabled(tr)
-		if !ok {
-			continue // ⊥ edge: self-loop in the quotient, omitted
+// serialState is the scratch of the single-threaded reference explorer.
+type serialState struct {
+	index map[uint64][]NodeID // state hash -> candidate nodes (collision list)
+	pend  []*ioa.System       // per-node snapshot, retained until expanded
+	buf   []byte              // encoding scratch
+}
+
+func (e *Explorer) exploreSerial() error {
+	st := &serialState{index: make(map[uint64][]NodeID, 1024)}
+	root := e.rootSys.CloneBare()
+	st.buf = root.AppendEncode(st.buf[:0])
+	e.addNodeSerial(st, root, 0, stateHash(st.buf, 0))
+	nextProg := int64(e.cfg.progressEvery())
+	for next := 0; next < len(e.fdIdx); next++ {
+		e.estart = append(e.estart, int64(len(e.edges)))
+		sys := st.pend[next]
+		st.pend[next] = nil
+		fd := int(e.fdIdx[next])
+		// FD edge: the head of the remaining tD, if any (Section 8.2).
+		if fd < len(e.cfg.TD) {
+			act := e.cfg.TD[fd]
+			child := sys.CloneBare()
+			child.Apply(-1, act)
+			if err := e.linkSerial(st, LabelFD, act, child, fd+1); err != nil {
+				return err
+			}
 		}
-		child := sys.CloneBare()
-		child.Apply(tr.Auto, act)
-		e.link(id, Label(li), act, child, n.fdIdx)
+		// Task edges.
+		for li, tr := range e.tasks {
+			act, ok := sys.Enabled(tr)
+			if !ok {
+				continue // ⊥ edge: self-loop in the quotient, omitted
+			}
+			child := sys.CloneBare()
+			child.Apply(tr.Auto, act)
+			if err := e.linkSerial(st, Label(li), act, child, fd); err != nil {
+				return err
+			}
+		}
+		if e.cfg.Progress != nil && int64(len(e.fdIdx)) >= nextProg {
+			if !e.cfg.Progress(Progress{Nodes: int64(len(e.fdIdx)), Edges: int64(len(e.edges))}) {
+				return ErrCanceled
+			}
+			nextProg = int64(len(e.fdIdx)) + int64(e.cfg.progressEvery())
+		}
 	}
-	n.sys = nil // release the snapshot; edges carry everything we need
+	e.estart = append(e.estart, int64(len(e.edges)))
+	if e.cfg.Progress != nil {
+		if !e.cfg.Progress(Progress{Nodes: int64(len(e.fdIdx)), Edges: int64(len(e.edges)), Done: true}) {
+			return ErrCanceled
+		}
+	}
 	return nil
 }
 
-// link records an edge from id to the node for (child state, fd'), creating
-// the child if new.
-func (e *Explorer) link(id NodeID, l Label, act ioa.Action, child *ioa.System, fd int) {
-	k := nodeKey{enc: child.Encode(), fd: fd}
-	to, ok := e.index[k]
-	if !ok {
-		to = NodeID(len(e.nodes))
-		e.nodes = append(e.nodes, &node{key: k, sys: child, fdIdx: fd})
-		e.index[k] = to
+// linkSerial records an edge to the node for (child state, fd), creating and
+// enqueueing the child if its key is new.  The cap is checked here, at node
+// creation.
+func (e *Explorer) linkSerial(st *serialState, l Label, act ioa.Action, child *ioa.System, fd int) error {
+	st.buf = child.AppendEncode(st.buf[:0])
+	h := stateHash(st.buf, fd)
+	for _, id := range st.index[h] {
+		if int(e.fdIdx[id]) == fd && bytes.Equal(e.nodeEnc(id), st.buf) {
+			e.edges = append(e.edges, Edge{Label: l, Act: act, To: id})
+			return nil
+		}
 	}
-	e.nodes[id].edges = append(e.nodes[id].edges, edge{label: l, act: act, to: to})
-	e.nodes[to].preds = append(e.nodes[to].preds, id)
+	if len(e.fdIdx) >= e.cfg.maxNodes() {
+		return &ErrStateSpaceCap{Cap: e.cfg.maxNodes(), Nodes: len(e.fdIdx)}
+	}
+	to := e.addNodeSerial(st, child, fd, h)
+	e.edges = append(e.edges, Edge{Label: l, Act: act, To: to})
+	return nil
+}
+
+// addNodeSerial interns st.buf as a new node's encoding and registers the
+// node under hash h.
+func (e *Explorer) addNodeSerial(st *serialState, sys *ioa.System, fd int, h uint64) NodeID {
+	id := NodeID(len(e.fdIdx))
+	e.fdIdx = append(e.fdIdx, int32(fd))
+	e.mask = append(e.mask, 0)
+	e.encOff = append(e.encOff, int64(len(e.arena)))
+	e.encLen = append(e.encLen, int32(len(st.buf)))
+	e.arena = append(e.arena, st.buf...)
+	st.pend = append(st.pend, sys)
+	st.index[h] = append(st.index[h], id)
+	return id
+}
+
+// reverse is the transposed edge relation in CSR form, with the decide bit
+// of each edge precomputed; built once after expansion, used by the valence
+// fixpoints, and released afterwards.
+type reverse struct {
+	start []int64
+	pred  []NodeID
+	bit   []uint8 // decide bit of the edge pred -> node
+	ebit  []uint8 // decide bit per *forward* edge, aligned with e.edges
+}
+
+func (e *Explorer) buildReverse() *reverse {
+	n := len(e.fdIdx)
+	r := &reverse{
+		start: make([]int64, n+1),
+		pred:  make([]NodeID, len(e.edges)),
+		bit:   make([]uint8, len(e.edges)),
+		ebit:  make([]uint8, len(e.edges)),
+	}
+	for k := range e.edges {
+		r.start[e.edges[k].To+1]++
+		if b, ok := decideBit(e.edges[k].Act); ok {
+			r.ebit[k] = b
+		}
+	}
+	for i := 0; i < n; i++ {
+		r.start[i+1] += r.start[i]
+	}
+	pos := make([]int64, n)
+	copy(pos, r.start[:n])
+	for id := 0; id < n; id++ {
+		for k := e.estart[id]; k < e.estart[id+1]; k++ {
+			to := e.edges[k].To
+			r.pred[pos[to]] = NodeID(id)
+			r.bit[pos[to]] = r.ebit[k]
+			pos[to]++
+		}
+	}
+	return r
 }
 
 // propagate computes each node's valence mask.  A node's valence is defined
@@ -270,27 +461,34 @@ func (e *Explorer) link(id NodeID, l Label, act ioa.Action, child *ioa.System, f
 //	            of the memoized state, and agreement fixes the value), and
 //	future(N) – decision events reachable from N,
 //
-// each computed by a worklist fixpoint (forward and backward respectively).
+// each a monotone fixpoint over the uint8 mask lattice.  The fixpoints are
+// unique, so the serial worklist and the parallel round-based solver below
+// produce identical masks.
 func (e *Explorer) propagate() {
-	e.propagateFuture()
-	e.propagatePast()
+	r := e.buildReverse()
+	if w := e.cfg.workers(); w > 1 {
+		e.propagateFutureParallel(r, w)
+		e.propagatePastParallel(r, w)
+	} else {
+		e.propagateFuture(r)
+		e.propagatePast(r)
+	}
 }
 
 // propagateFuture computes future-reachable decisions by backward fixpoint:
 // R(N) = ⋃ over edges N→M of decideBit(edge) ∪ R(M).
-func (e *Explorer) propagateFuture() {
-	work := make([]NodeID, 0, len(e.nodes))
-	inWork := make([]bool, len(e.nodes))
+func (e *Explorer) propagateFuture(r *reverse) {
+	n := len(e.fdIdx)
+	work := make([]NodeID, 0, n)
+	inWork := make([]bool, n)
 	// Seed: nodes with outgoing decide edges.
-	for i, n := range e.nodes {
+	for i := 0; i < n; i++ {
 		var m uint8
-		for _, ed := range n.edges {
-			if b, ok := decideBit(ed.act); ok {
-				m |= b
-			}
+		for k := e.estart[i]; k < e.estart[i+1]; k++ {
+			m |= r.ebit[k]
 		}
 		if m != 0 {
-			n.mask = m
+			e.mask[i] = m
 			work = append(work, NodeID(i))
 			inWork[i] = true
 		}
@@ -299,11 +497,11 @@ func (e *Explorer) propagateFuture() {
 		id := work[len(work)-1]
 		work = work[:len(work)-1]
 		inWork[id] = false
-		m := e.nodes[id].mask
-		for _, p := range e.nodes[id].preds {
-			pn := e.nodes[p]
-			if pn.mask|m != pn.mask {
-				pn.mask |= m
+		m := e.mask[id]
+		for k := r.start[id]; k < r.start[id+1]; k++ {
+			p := r.pred[k]
+			if e.mask[p]|m != e.mask[p] {
+				e.mask[p] |= m
 				if !inWork[p] {
 					work = append(work, p)
 					inWork[p] = true
@@ -315,13 +513,14 @@ func (e *Explorer) propagateFuture() {
 
 // propagatePast folds decision events of incoming walks forward:
 // past(child) ⊇ past(parent) ∪ decideBit(edge).
-func (e *Explorer) propagatePast() {
-	past := make([]uint8, len(e.nodes))
+func (e *Explorer) propagatePast(r *reverse) {
+	n := len(e.fdIdx)
+	past := make([]uint8, n)
 	// Every node must be processed at least once: an edge's decide bit
 	// contributes to the child even when the parent's own past is empty.
-	work := make([]NodeID, len(e.nodes))
-	inWork := make([]bool, len(e.nodes))
-	for i := range e.nodes {
+	work := make([]NodeID, n)
+	inWork := make([]bool, n)
+	for i := range work {
 		work[i] = NodeID(i)
 		inWork[i] = true
 	}
@@ -329,22 +528,20 @@ func (e *Explorer) propagatePast() {
 		id := work[len(work)-1]
 		work = work[:len(work)-1]
 		inWork[id] = false
-		for _, ed := range e.nodes[id].edges {
-			m := past[id]
-			if b, ok := decideBit(ed.act); ok {
-				m |= b
-			}
-			if past[ed.to]|m != past[ed.to] {
-				past[ed.to] |= m
-				if !inWork[ed.to] {
-					work = append(work, ed.to)
-					inWork[ed.to] = true
+		for k := e.estart[id]; k < e.estart[id+1]; k++ {
+			m := past[id] | r.ebit[k]
+			to := e.edges[k].To
+			if past[to]|m != past[to] {
+				past[to] |= m
+				if !inWork[to] {
+					work = append(work, to)
+					inWork[to] = true
 				}
 			}
 		}
 	}
-	for i, n := range e.nodes {
-		n.mask |= past[i]
+	for i := 0; i < n; i++ {
+		e.mask[i] |= past[i]
 	}
 }
 
@@ -378,13 +575,13 @@ type Stats struct {
 // Stats computes summary statistics (after Explore).
 func (e *Explorer) Stats() Stats {
 	var s Stats
-	s.Nodes = len(e.nodes)
-	for _, n := range e.nodes {
-		s.Edges += len(n.edges)
-		if n.fdIdx > s.MaxFDIdx {
-			s.MaxFDIdx = n.fdIdx
+	s.Nodes = len(e.fdIdx)
+	s.Edges = len(e.edges)
+	for i := 0; i < s.Nodes; i++ {
+		if fd := int(e.fdIdx[i]); fd > s.MaxFDIdx {
+			s.MaxFDIdx = fd
 		}
-		switch maskToValence(n.mask) {
+		switch maskToValence(e.mask[i]) {
 		case ValBivalent:
 			s.Bivalent++
 		case ValZero:
@@ -394,13 +591,13 @@ func (e *Explorer) Stats() Stats {
 		default:
 			s.Unknown++
 		}
-		for _, ed := range n.edges {
-			if ed.label == LabelFD {
-				s.FDEdges++
-			}
-			if _, ok := decideBit(ed.act); ok {
-				s.DecideCut++
-			}
+	}
+	for k := range e.edges {
+		if e.edges[k].Label == LabelFD {
+			s.FDEdges++
+		}
+		if _, ok := decideBit(e.edges[k].Act); ok {
+			s.DecideCut++
 		}
 	}
 	return s
