@@ -11,6 +11,7 @@ import (
 	"repro/internal/afd"
 	"repro/internal/consensus"
 	"repro/internal/ioa"
+	"repro/internal/oracle"
 	"repro/internal/problems"
 	"repro/internal/sched"
 	"repro/internal/selfimpl"
@@ -35,6 +36,35 @@ func BenchmarkSystemThroughput(b *testing.B) {
 				autos = append(autos, system.NewCrash(system.NoFaults()))
 				sys := ioa.MustNewSystem(autos...)
 				sched.RoundRobin(sys, sched.Options{MaxSteps: 10_000})
+				b.ReportMetric(float64(sys.Steps()), "events/op")
+			}
+		})
+	}
+}
+
+// BenchmarkSystemThroughputOracle is E1 with the differential oracle
+// attached: channel shadows on every event plus full enabled-set/delivery-set
+// sweeps every DefaultStride events.  Comparing against
+// BenchmarkSystemThroughput measures the oracle's overhead, which the design
+// budget caps at 3× (the strided sweep amortizes the O(tasks) reference
+// re-derivation over DefaultStride O(1) fast-path steps).
+func BenchmarkSystemThroughputOracle(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			d, err := afd.Lookup(afd.FamilyP, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				autos := []ioa.Automaton{d.Automaton(n)}
+				autos = append(autos, system.Channels(n)...)
+				autos = append(autos, system.NewCrash(system.NoFaults()))
+				sys := ioa.MustNewSystem(autos...)
+				o := oracle.Attach(sys, oracle.Options{Shadow: true})
+				sched.RoundRobin(sys, sched.Options{MaxSteps: 10_000})
+				if err := o.Check(); err != nil {
+					b.Fatal(err)
+				}
 				b.ReportMetric(float64(sys.Steps()), "events/op")
 			}
 		})

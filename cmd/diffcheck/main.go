@@ -1,0 +1,305 @@
+// Command diffcheck is the differential-oracle sweep: it executes chaos
+// fault-plan × scheduler × seed grids with the internal/oracle invariant
+// layer attached — enabled-set and delivery-set re-derived from first
+// principles every event, every channel mirrored by a naive shadow queue —
+// and runs the serial and parallel valence explorers on shared configs,
+// diffing their tables node-by-node.  Any failure is shrunk to a minimal
+// reproducer that still exhibits the same divergence clause (the oracle is
+// re-attached to every shrink candidate) and written as a replayable
+// trace.Artifact.
+//
+// A clean exit means the optimized engines — routing index, incremental
+// ready-set, ring-buffer channels, parallel frontier exploration — agreed
+// with their references at every observed step of every run in the grid.
+//
+// Usage:
+//
+//	diffcheck [-n 3] [-t -1] [-seeds 8] [-plans 0] [-steps 0] [-stride 1]
+//	          [-scheds rr,random,lifo] [-targets LIST] [-workers 0]
+//	          [-valence] [-short] [-out DIR]
+//
+// -short shrinks the grid to CI size (2 seeds, 3 plans, shorter runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/chaos"
+	"repro/internal/ioa"
+	"repro/internal/oracle"
+	"repro/internal/sched"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/valence"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "diffcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n       = flag.Int("n", 3, "number of locations")
+		maxT    = flag.Int("t", -1, "max crashes per plan (-1 = each target's tolerance)")
+		seeds   = flag.Int("seeds", 8, "seeds per (target, scheduler, plan)")
+		plans   = flag.Int("plans", 0, "cap on fault plans per target (0 = all subsets)")
+		steps   = flag.Int("steps", 0, "step bound per run (0 = default)")
+		stride  = flag.Int("stride", 1, "events between full oracle sweeps (1 = every event)")
+		scheds  = flag.String("scheds", "", "comma-separated schedulers: rr,random,lifo (default all)")
+		targets = flag.String("targets", "", "comma-separated target IDs (default Ω, ◇P, consensus:Ω)")
+		workers = flag.Int("workers", 0, "parallel runner workers (0 = GOMAXPROCS)")
+		valDiff = flag.Bool("valence", true, "also diff serial vs parallel valence explorers")
+		short   = flag.Bool("short", false, "CI-sized grid: 2 seeds, 3 plans, shorter runs")
+		outDir  = flag.String("out", "", "write one artifact per failure to this directory")
+	)
+	flag.Parse()
+
+	if *short {
+		*seeds = 2
+		if *plans == 0 {
+			*plans = 3
+		}
+		if *steps == 0 {
+			*steps = 400 * *n
+		}
+	}
+
+	ts := chaos.DefaultTargets()
+	if *targets != "" {
+		ts = ts[:0]
+		for _, id := range strings.Split(*targets, ",") {
+			t, err := chaos.ParseTarget(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			ts = append(ts, t)
+		}
+	}
+	schedList := chaos.Schedulers()
+	if *scheds != "" {
+		schedList = strings.Split(*scheds, ",")
+	}
+
+	runs := buildGrid(ts, *n, *maxT, *seeds, *plans, *steps, schedList)
+	fmt.Printf("diffcheck: %d runs (%d targets × %d schedulers × %d seeds × ≤%d plans), oracle stride %d\n",
+		len(runs), len(ts), len(schedList), *seeds, planCap(*n, *maxT, *plans, ts), *stride)
+
+	inst := instrument(*stride)
+	exec := func(r chaos.Run) (chaos.Verdict, error) {
+		return chaos.ExecuteInstrumented(r, inst)
+	}
+
+	failures, errs := sweep(runs, exec, *workers)
+	divergences := 0
+	for i, f := range failures {
+		min, tries := chaos.ShrinkWith(f, exec)
+		kind := "SPEC"
+		if strings.Contains(min.Err.Error(), "(oracle-") {
+			kind = "DIVERGENCE"
+			divergences++
+		}
+		fmt.Printf("  %s %s sched=%s seed=%d plan=%v steps=%d (shrunk in %d tries)\n    %v\n",
+			kind, min.Run.Target.ID(), min.Run.Sched, min.Run.Seed, min.Run.Plan, min.Steps, tries, min.Err)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, fmt.Sprintf("diff-%d.json", i))
+			if err := writeArtifact(path, min.Artifact()); err != nil {
+				return err
+			}
+			fmt.Println("    artifact:", path)
+		}
+	}
+	for _, e := range errs {
+		fmt.Println("  error:", e)
+	}
+
+	valFailures := 0
+	if *valDiff {
+		valFailures = diffValence(*short)
+	}
+
+	fmt.Printf("diffcheck: %d runs, %d divergences, %d spec failures, %d valence diff failures\n",
+		len(runs), divergences, len(failures)-divergences, valFailures)
+	if len(failures) > 0 || len(errs) > 0 || valFailures > 0 {
+		return fmt.Errorf("%d failures", len(failures)+len(errs)+valFailures)
+	}
+	return nil
+}
+
+// instrument attaches a fresh oracle (full sweeps every stride events plus
+// per-event channel shadows) to each built system; the returned check runs
+// the end-of-run sweep and yields the first divergence.
+func instrument(stride int) func(*chaos.Built) func() error {
+	return func(b *chaos.Built) func() error {
+		o := oracle.Attach(b.Sys, oracle.Options{Stride: stride, Shadow: true})
+		return o.Check
+	}
+}
+
+// buildGrid mirrors chaos.Sweep's cartesian product (same gate-sampling
+// PRNG keying, so a diffcheck failure replays under plain chaos tooling),
+// with an optional cap on plans per target.
+func buildGrid(ts []chaos.Target, n, maxT, seeds, planCap, steps int, schedList []string) []chaos.Run {
+	var runs []chaos.Run
+	for _, target := range ts {
+		mt := target.MaxT(n)
+		if maxT >= 0 && maxT < mt {
+			mt = maxT
+		}
+		plans := system.PlanSubsets(n, mt)
+		if planCap > 0 && len(plans) > planCap {
+			plans = plans[:planCap]
+		}
+		for _, schedKind := range schedList {
+			for seed := 0; seed < seeds; seed++ {
+				for pi, plan := range plans {
+					grng := sched.NewPRNG(int64(seed)<<20 | int64(pi)<<1 | boolBit(schedKind == chaos.SchedLIFO))
+					sb := steps
+					if sb <= 0 {
+						sb = chaos.DefaultSteps(n)
+					}
+					runs = append(runs, chaos.Run{
+						Target: target,
+						N:      n,
+						Plan:   plan,
+						Gates:  chaos.SampleGates(grng, n, sb),
+						Sched:  schedKind,
+						Seed:   int64(seed),
+						Steps:  steps,
+					})
+				}
+			}
+		}
+	}
+	return runs
+}
+
+func planCap(n, maxT, cap int, ts []chaos.Target) int {
+	most := 0
+	for _, t := range ts {
+		mt := t.MaxT(n)
+		if maxT >= 0 && maxT < mt {
+			mt = maxT
+		}
+		if p := len(system.PlanSubsets(n, mt)); p > most {
+			most = p
+		}
+	}
+	if cap > 0 && cap < most {
+		return cap
+	}
+	return most
+}
+
+// sweep executes the grid in parallel, collecting failing verdicts in a
+// stable order.
+func sweep(runs []chaos.Run, exec func(chaos.Run) (chaos.Verdict, error), workers int) ([]chaos.Verdict, []error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		mu       sync.Mutex
+		failures []chaos.Verdict
+		errs     []error
+		wg       sync.WaitGroup
+	)
+	jobs := make(chan chaos.Run)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range jobs {
+				v, err := exec(r)
+				switch {
+				case err != nil:
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+				case v.Failed():
+					mu.Lock()
+					failures = append(failures, v)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, r := range runs {
+		jobs <- r
+	}
+	close(jobs)
+	wg.Wait()
+	sort.Slice(failures, func(i, j int) bool {
+		a, b := failures[i].Run, failures[j].Run
+		if a.Target.ID() != b.Target.ID() {
+			return a.Target.ID() < b.Target.ID()
+		}
+		if a.Sched != b.Sched {
+			return a.Sched < b.Sched
+		}
+		return a.Seed < b.Seed
+	})
+	return failures, errs
+}
+
+// diffValence runs the serial-vs-parallel explorer diff over a small config
+// grid; returns the number of failures.
+func diffValence(short bool) int {
+	type vc struct {
+		name string
+		cfg  valence.Config
+	}
+	cases := []vc{
+		{"omega-n2-r2", valence.Config{N: 2, Family: "FD-Ω", Algo: "ct", TD: valence.OmegaTD(2, 2, nil)}},
+		{"omega-n2-r3-crash1", valence.Config{N: 2, Family: "FD-Ω", Algo: "ct",
+			TD: valence.OmegaTD(2, 3, map[ioa.Loc]int{1: 1})}},
+		{"perfect-n2-s-r2", valence.Config{N: 2, Family: "FD-P", Algo: "s", TD: valence.PerfectTD(2, 2, nil)}},
+	}
+	if !short {
+		cases = append(cases,
+			vc{"omega-n2-r4-crash0", valence.Config{N: 2, Family: "FD-Ω", Algo: "ct",
+				TD: valence.OmegaTD(2, 4, map[ioa.Loc]int{0: 2})}},
+			vc{"perfect-n3-s-r2", valence.Config{N: 3, Family: "FD-P", Algo: "s",
+				TD: valence.PerfectTD(3, 2, map[ioa.Loc]int{2: 1}), MaxNodes: 2_000_000}},
+		)
+	}
+	failures := 0
+	for _, c := range cases {
+		if err := oracle.DiffExplorers(c.cfg, oracle.DiffOptions{}); err != nil {
+			fmt.Printf("  VALENCE-DIVERGENCE %s\n    %v\n", c.name, err)
+			failures++
+			continue
+		}
+		fmt.Printf("  valence %s: serial == parallel (node-by-node)\n", c.name)
+	}
+	return failures
+}
+
+func boolBit(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func writeArtifact(path string, a *trace.Artifact) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteArtifact(f, a)
+}

@@ -206,6 +206,43 @@ var golden = map[string]string{
 	"chaos/lifo/consensus":      "8a8efa313f26d148",
 }
 
+// TestGoldenCrossEngineReplay closes the loop on artifact replay: each
+// pinned chaos run is executed, converted to its wire artifact, and replayed
+// through BOTH engines — the scheduler re-execution (same kind, seed, gates)
+// and the event-by-event ioa.ReplayTrace pass over a freshly built fast-path
+// system, which requires every recorded event to be enabled by some task of
+// the incremental ready-set and the fresh system's trace to be
+// byte-identical to the record.  Replay used to stop at the verdict
+// comparison, so an artifact whose trace no current system could perform
+// still "replayed" — the cross-engine pass is the fix under test.
+func TestGoldenCrossEngineReplay(t *testing.T) {
+	for _, tc := range goldenChaosCases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, err := chaos.Execute(tc.run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := v.Artifact()
+			if _, err := chaos.Replay(a); err != nil {
+				t.Fatalf("replay diverged: %v", err)
+			}
+			// The cross-engine half in isolation, so a scheduler-replay
+			// failure can't mask it.
+			if err := chaos.ReplayThroughSystem(a); err != nil {
+				t.Fatalf("cross-engine replay: %v", err)
+			}
+			// Tamper control: corrupting one recorded event must be caught
+			// by the fresh system, not silently re-traced.
+			bad := *a
+			bad.Trace = append([]ioa.Action(nil), a.Trace...)
+			bad.Trace[len(bad.Trace)/2].Payload += "-tampered"
+			if err := chaos.ReplayThroughSystem(&bad); err == nil {
+				t.Fatal("tampered trace replayed cleanly through a fresh system")
+			}
+		})
+	}
+}
+
 func TestGoldenTraces(t *testing.T) {
 	print := os.Getenv("GOLDEN_PRINT") != ""
 	for _, tc := range goldenCases {

@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 
+	"repro/internal/ioa"
 	"repro/internal/system"
 	"repro/internal/trace"
 )
@@ -56,6 +57,18 @@ func RunFromArtifact(a *trace.Artifact) (Run, error) {
 // false means the artifact no longer reproduces (e.g. the bug was fixed);
 // a non-nil error means the replay itself diverged from the record, which
 // indicates broken determinism.
+//
+// Replay validates the recorded trace through two independent engines: the
+// scheduler re-execution above (same scheduler, seed, gates), and a
+// cross-engine pass that feeds the recorded events one at a time through a
+// freshly built fast-path system via ioa.ReplayTrace — each event must be
+// the currently enabled action of some task of the incremental ready-set,
+// and the events the fresh system traces must be byte-identical to the
+// record.  The second pass certifies the artifact against the enabled-set
+// machinery itself rather than against the scheduler that happened to
+// produce it, so a stale-ready-set bug cannot hide behind deterministic
+// re-execution of itself.  It used to stop at the verdict comparison, which
+// accepted artifacts whose traces no current system can actually perform.
 func Replay(a *trace.Artifact) (Verdict, error) {
 	r, err := RunFromArtifact(a)
 	if err != nil {
@@ -73,5 +86,36 @@ func Replay(a *trace.Artifact) (Verdict, error) {
 		return v, fmt.Errorf("chaos: replay trace diverges from recorded trace (%d vs %d events)",
 			len(v.Trace), len(a.Trace))
 	}
+	if err := ReplayThroughSystem(a); err != nil {
+		return v, err
+	}
 	return v, nil
+}
+
+// ReplayThroughSystem performs the cross-engine half of Replay: it rebuilds
+// the artifact's target and replays the recorded trace event-by-event
+// through the fast-path ioa.System, then asserts the fresh system's trace is
+// byte-identical to the record.  Sound for chaos targets because they emit
+// no internal or hidden actions — the recorded trace is the complete event
+// sequence of the run.
+func ReplayThroughSystem(a *trace.Artifact) error {
+	if len(a.Trace) == 0 {
+		return nil
+	}
+	target, err := ParseTarget(a.Target)
+	if err != nil {
+		return err
+	}
+	b, err := target.Build(a.N, system.CrashOf(a.Crash...), a.Sched == SchedLIFO)
+	if err != nil {
+		return err
+	}
+	if idx, err := ioa.ReplayTrace(b.Sys, a.Trace, nil); err != nil {
+		return fmt.Errorf("chaos: recorded trace rejected by fresh system at event %d: %w", idx, err)
+	}
+	if got := b.Sys.Trace(); !trace.Equal(got, a.Trace) {
+		return fmt.Errorf("chaos: cross-engine replay traced %d events, recorded %d — not byte-identical",
+			len(got), len(a.Trace))
+	}
+	return nil
 }

@@ -128,11 +128,25 @@ func (v Verdict) Failed() bool { return v.Err != nil }
 // Execute performs one chaos run.  The returned error is an infrastructure
 // error (unknown scheduler, unbuildable target); specification violations
 // land in Verdict.Err.
-func Execute(r Run) (Verdict, error) {
+func Execute(r Run) (Verdict, error) { return ExecuteInstrumented(r, nil) }
+
+// ExecuteInstrumented performs one chaos run with an instrumentation hook:
+// after the target is built — before any step — instrument may attach
+// observers to the built system (e.g. oracle.Attach) and returns a check
+// function evaluated once the schedule completes.  A non-nil check error
+// takes precedence over the specification verdict in Verdict.Err: a
+// divergence between engines undermines the trace the checker judged.
+// instrument must be safe to call once per execution; ShrinkWith passes one
+// to re-instrument every shrink candidate.
+func ExecuteInstrumented(r Run, instrument func(*Built) func() error) (Verdict, error) {
 	lifo := r.Sched == SchedLIFO
 	b, err := r.Target.Build(r.N, r.Plan, lifo)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("chaos: building %s: %w", r.Target.ID(), err)
+	}
+	var check func() error
+	if instrument != nil {
+		check = instrument(b)
 	}
 	var log []trace.GateVeto
 	opts := sched.Options{
@@ -156,11 +170,17 @@ func Execute(r Run) (Verdict, error) {
 		return Verdict{}, fmt.Errorf("chaos: unknown scheduler %q", r.Sched)
 	}
 	t := b.Sys.Trace()
+	verdictErr := r.Target.Checker(r.N, r.Plan, Fair(r.Sched))(t)
+	if check != nil {
+		if ierr := check(); ierr != nil {
+			verdictErr = ierr
+		}
+	}
 	return Verdict{
 		Run:     r,
 		Steps:   res.Steps,
 		Reason:  res.Reason,
-		Err:     r.Target.Checker(r.N, r.Plan, Fair(r.Sched))(t),
+		Err:     verdictErr,
 		Trace:   t,
 		GateLog: log,
 	}, nil

@@ -30,7 +30,14 @@ func errClause(err error) string {
 // still violates the same specification clause, so the result is a genuine
 // reproducer of the original failure; executions are deterministic, so
 // Shrink is too.  tries reports how many candidate executions were spent.
-func Shrink(v Verdict) (min Verdict, tries int) {
+func Shrink(v Verdict) (min Verdict, tries int) { return ShrinkWith(v, Execute) }
+
+// ShrinkWith is Shrink with a custom executor for the shrink candidates.
+// A differential runner passes an oracle-instrumented executor (see
+// ExecuteInstrumented) so a candidate only counts as reproducing when the
+// same divergence clause — "(oracle-ready-set)", "(oracle-channel-shadow)",
+// ... — fires again; exec must be deterministic for the result to be.
+func ShrinkWith(v Verdict, exec func(Run) (Verdict, error)) (min Verdict, tries int) {
 	if !v.Failed() {
 		return v, 0
 	}
@@ -41,7 +48,7 @@ func Shrink(v Verdict) (min Verdict, tries int) {
 	// clause.
 	attempt := func(r Run) bool {
 		tries++
-		w, err := Execute(r)
+		w, err := exec(r)
 		if err == nil && w.Failed() && errClause(w.Err) == clause {
 			cur = w
 			return true

@@ -44,7 +44,21 @@ type System struct {
 	trace    []Action          // external events in order of occurrence
 	steps    int               // total events fired (including internal)
 	hidden   func(Action) bool // reclassified-as-internal predicate, may be nil
+	observer Observer          // post-Apply hook, nil when no oracle attached
 }
+
+// Observer is notified after every Apply, once the event's effects (owner
+// Fire, deliveries, trace recording, ready-set maintenance) are complete.
+// owner is the firing automaton's index, or -1 for externally injected
+// events.  Observers exist for invariant layers (package oracle) that
+// cross-check the fast-path structures after each event; they must not
+// mutate the system.  A nil observer costs one predictable branch per Apply.
+type Observer func(owner int, act Action)
+
+// SetObserver installs (or, with nil, removes) the post-Apply observer.
+// Clones never inherit the observer: an observer typically closes over its
+// system, and execution-tree drivers clone thousands of systems per run.
+func (s *System) SetObserver(o Observer) { s.observer = o }
 
 // NewSystem composes the given automata.  It returns an error if two automata
 // share a name (composition requires uniquely named components).
@@ -228,6 +242,37 @@ func (s *System) Apply(owner int, act Action) {
 			s.dirty = append(s.dirty, owner)
 		}
 	}
+	s.forEachCandidate(act, func(ai int) {
+		if ai == owner {
+			return
+		}
+		if a := s.autos[ai]; a.Accepts(act) {
+			a.Input(act)
+			s.dirty = append(s.dirty, ai)
+		}
+	})
+	s.steps++
+	if act.Kind != KindInternal && (s.hidden == nil || !s.hidden(act)) {
+		s.trace = append(s.trace, act)
+	}
+	// Only the owner and the automata that consumed the input can have
+	// changed state, hence enabledness (Automaton contract: Enabled depends
+	// on the receiver's own state only).
+	for _, ai := range s.dirty {
+		s.repoll(ai)
+	}
+	if s.observer != nil {
+		s.observer(owner, act)
+	}
+}
+
+// forEachCandidate visits the routing index's delivery candidates for act —
+// the declared-key automata for KeyOf(act) merged with the wildcard list in
+// ascending automaton order (the same visit order as the pre-index full
+// scan).  Candidates still need Accepts filtering; both Apply and the
+// oracle's delivery-set check go through this one merge so the checked set
+// and the executed set cannot silently diverge.
+func (s *System) forEachCandidate(act Action, f func(ai int)) {
 	keyed := s.routes[KeyOf(act)]
 	i, j := 0, 0
 	for i < len(keyed) || j < len(s.wildcard) {
@@ -243,24 +288,18 @@ func (s *System) Apply(owner int, act Action) {
 			ai = s.wildcard[j]
 			j++
 		}
-		if ai == owner {
-			continue
-		}
-		if a := s.autos[ai]; a.Accepts(act) {
-			a.Input(act)
-			s.dirty = append(s.dirty, ai)
-		}
+		f(ai)
 	}
-	s.steps++
-	if act.Kind != KindInternal && (s.hidden == nil || !s.hidden(act)) {
-		s.trace = append(s.trace, act)
-	}
-	// Only the owner and the automata that consumed the input can have
-	// changed state, hence enabledness (Automaton contract: Enabled depends
-	// on the receiver's own state only).
-	for _, ai := range s.dirty {
-		s.repoll(ai)
-	}
+}
+
+// DeliveryCandidates returns the ascending automaton indices the routing
+// index would consider for act, before Accepts filtering.  Exposed for the
+// oracle layer, which diffs this set against a first-principles scan of all
+// automata.
+func (s *System) DeliveryCandidates(act Action) []int {
+	var out []int
+	s.forEachCandidate(act, func(ai int) { out = append(out, ai) })
+	return out
 }
 
 // Hide reclassifies matching actions as internal to the composition (the

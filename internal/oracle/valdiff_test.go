@@ -1,0 +1,46 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/oracle"
+	"repro/internal/valence"
+)
+
+func TestDiffExplorersClean(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		cfg     valence.Config
+		workers int
+	}{
+		{
+			name: "omega-n2",
+			cfg: valence.Config{
+				N: 2, Family: "FD-Ω", Algo: "ct",
+				TD: valence.OmegaTD(2, 2, nil),
+			},
+		},
+		{
+			name: "omega-n2-crash",
+			cfg: valence.Config{
+				N: 2, Family: "FD-Ω", Algo: "ct",
+				TD: valence.OmegaTD(2, 3, map[ioa.Loc]int{1: 1}),
+			},
+			workers: 3,
+		},
+		{
+			name: "perfect-n2-s",
+			cfg: valence.Config{
+				N: 2, Family: "FD-P", Algo: "s",
+				TD: valence.PerfectTD(2, 2, nil),
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := oracle.DiffExplorers(tc.cfg, oracle.DiffOptions{Workers: tc.workers}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -41,8 +41,10 @@ func NewFairnessAudit(tasks []ioa.TaskRef, window int) *FairnessAudit {
 	return a
 }
 
-// Observe records that task tr got a turn at the current step (it fired or
-// was found disabled).
+// Observe records that task tr got a turn at the current step: it fired,
+// was found disabled, or was offered to the gate and vetoed.  A veto is the
+// environment withholding the action, not the scheduler neglecting the task
+// — §2.4 fairness constrains the scheduler, so a vetoed turn still counts.
 func (a *FairnessAudit) Observe(tr ioa.TaskRef) {
 	a.lastACK[tr] = a.steps
 }
@@ -94,6 +96,7 @@ func AuditedRoundRobin(sys *ioa.System, opts Options) (Result, error) {
 			}
 			act := sys.ReadyAction(idx)
 			if opts.Gate != nil && !opts.Gate(sys.Steps(), tr, act) {
+				audit.Observe(tr) // the turn was offered; the gate vetoed it
 				gated = true
 				continue
 			}

@@ -42,6 +42,87 @@ func TestFairnessAuditPassesAlternation(t *testing.T) {
 	}
 }
 
+// TestAuditedRoundRobinGateVetoIsNotStarvation is the regression test for
+// the audit miscounting gate-vetoed turns as scheduler starvation: the
+// scheduler offered the task its turn every pass, and the *gate* (the
+// environment's timing freedom, §2.4) withheld the action.  Ticker 1 is
+// vetoed for 20 steps — well past the audit window of 4×2 tasks = 8 — while
+// ticker 0 keeps the run advancing; the audit must stay clean.  Before the
+// fix the veto branch skipped the ACK, so lastACK[ticker 1] froze at 0 and
+// the window check reported a starvation that never happened.
+func TestAuditedRoundRobinGateVetoIsNotStarvation(t *testing.T) {
+	sys, err := ioa.NewSystem(&ticker{id: 0}, &ticker{id: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const release = 20
+	gate := Gate(func(step int, tr ioa.TaskRef, _ ioa.Action) bool {
+		return tr.Auto != 1 || step >= release
+	})
+	res, auditErr := AuditedRoundRobin(sys, Options{MaxSteps: 60, Gate: gate})
+	if auditErr != nil {
+		t.Fatalf("gate veto flagged as starvation: %v", auditErr)
+	}
+	if res.Reason != StopLimit {
+		t.Fatalf("reason = %s, want %s", res.Reason, StopLimit)
+	}
+	// The gate really did release: ticker 1 fired after the delay.
+	fired := 0
+	for _, a := range sys.Trace() {
+		if a.Loc == 1 {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("gate never released ticker 1; test exercised nothing")
+	}
+}
+
+// TestStalledMixedGatesReportsStopGated pins the Stalled/StopGated contract
+// under a mixed stall: one part of the system genuinely quiesces (chan[1>0]
+// drains its single message) while another stays enabled but permanently
+// gated (chan[0>1]'s deliveries are vetoed forever).  Every scheduler must
+// classify that scan as StopGated — the gate, not quiescence, is what holds
+// the run — and Result.Stalled must be true either way.
+func TestStalledMixedGatesReportsStopGated(t *testing.T) {
+	gate := Gate(func(_ int, _ ioa.TaskRef, act ioa.Action) bool {
+		return !(act.Kind == ioa.KindReceive && act.Loc == 1)
+	})
+	for _, tc := range []struct {
+		name string
+		run  func(sys *ioa.System) Result
+	}{
+		{"round-robin", func(sys *ioa.System) Result {
+			return RoundRobin(sys, Options{MaxSteps: 100, Gate: gate})
+		}},
+		{"random", func(sys *ioa.System) Result {
+			return Random(sys, 11, Options{MaxSteps: 100, Gate: gate})
+		}},
+		{"random-priority", func(sys *ioa.System) Result {
+			return RandomPriority(sys, NewPRNG(11),
+				func(_ ioa.TaskRef, act ioa.Action) int { return len(act.Payload) },
+				Options{MaxSteps: 100, Gate: gate})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := build(t, system.NoFaults())
+			res := tc.run(sys)
+			if res.Reason != StopGated {
+				t.Fatalf("reason = %s, want %s", res.Reason, StopGated)
+			}
+			if !res.Stalled() {
+				t.Fatal("Stalled() = false on a gated stall")
+			}
+			if res.Steps != 1 {
+				t.Fatalf("steps = %d, want exactly the ungated m3 delivery", res.Steps)
+			}
+			if sys.Quiescent() {
+				t.Fatal("system reported quiescent with gated work pending")
+			}
+		})
+	}
+}
+
 // TestStarveStrategy: the starvation adversary withholds one channel's
 // deliveries while other work exists, but safety (FIFO content) is
 // unaffected — only liveness suffers.

@@ -64,6 +64,13 @@ func (c *TrackedChannel) HeadStamp() (uint64, bool) {
 	return c.stamps.at(0), true
 }
 
+// Stamps returns a copy of the send stamps in transit, head first, parallel
+// to Queue().
+func (c *TrackedChannel) Stamps() []uint64 { return c.stamps.snapshot() }
+
+// Clock returns the shared send clock.
+func (c *TrackedChannel) Clock() *SendClock { return c.clock }
+
 // Clone implements ioa.Automaton.  The clone SHARES the send clock: stamp
 // uniqueness is global, and the chaos machinery only ever runs one line of
 // execution per clock.  Drivers forking executions (the execution tree)

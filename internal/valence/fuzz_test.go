@@ -1,0 +1,97 @@
+package valence
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedEncodings harvests real interned state encodings from a small
+// explored graph, so the fuzzer's corpus starts from the byte shapes the
+// arena actually stores (component encodings with \x1e separators) rather
+// than from synthetic data.
+func fuzzSeedEncodings(f *testing.F) [][]byte {
+	f.Helper()
+	e, err := New(Config{N: 2, Family: "FD-Ω", Algo: "ct", TD: OmegaTD(2, 2, nil)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := e.Explore(); err != nil {
+		f.Fatal(err)
+	}
+	var out [][]byte
+	for id := 0; id < e.NumNodes() && id < 16; id++ {
+		out = append(out, e.NodeEncoding(NodeID(id)))
+	}
+	return out
+}
+
+// FuzzStateInterning drives the parallel explorer's interning machinery on
+// arbitrary byte strings:
+//
+//   - shardArena chunk-stability: every slice put returns must still hold
+//     exactly the bytes that were put after arbitrarily many later puts —
+//     including puts that roll the arena over to a fresh chunk and oversized
+//     puts that take the dedicated-allocation path.  (The arena exists
+//     because append-grow would reallocate under concurrent readers; a slice
+//     that mutates after return is the resulting memo corruption.)
+//   - stateHash determinism and input-purity: hashing the same (encoding,
+//     fd) twice — once from the caller's buffer, once from the interned copy
+//     — must agree, and hashing must not mutate the input.
+//   - fd mixing: the same encoding under different fd indexes must hash
+//     differently (the memo key is the pair; a collision here would be legal
+//     but an *equality* means fd is not mixed in at all).
+func FuzzStateInterning(f *testing.F) {
+	for _, enc := range fuzzSeedEncodings(f) {
+		f.Add(enc, 0, uint8(3))
+	}
+	f.Add([]byte{}, 0, uint8(1))
+	f.Add([]byte("\x1e\x1e"), 71, uint8(5))
+	f.Add(bytes.Repeat([]byte{0xa5}, 4096), 3, uint8(9))
+	f.Fuzz(func(t *testing.T, data []byte, fd int, rounds uint8) {
+		before := append([]byte(nil), data...)
+		h1 := stateHash(data, fd)
+		if !bytes.Equal(data, before) {
+			t.Fatal("stateHash mutated its input")
+		}
+		if h2 := stateHash(data, fd); h2 != h1 {
+			t.Fatalf("stateHash not deterministic: %#x vs %#x", h1, h2)
+		}
+		// Injective fd mixing: the xor-in is multiplication by an odd
+		// constant (injective mod 2^64) and the avalanche is bijective, so
+		// distinct fd values must produce distinct hashes for the same bytes.
+		if stateHash(data, fd) == stateHash(data, fd+1) {
+			t.Fatalf("fd not mixed into stateHash: fd=%d and fd=%d collide on %q", fd, fd+1, data)
+		}
+
+		var arena shardArena
+		type put struct {
+			want   []byte
+			stored []byte
+		}
+		var puts []put
+		record := func(b []byte) {
+			got := arena.put(b)
+			if !bytes.Equal(got, b) {
+				t.Fatalf("put returned %q for %q", got, b)
+			}
+			puts = append(puts, put{want: append([]byte(nil), b...), stored: got})
+		}
+		record(data)
+		// Subsequent puts of varying sizes, including ones big enough to
+		// force chunk rollover (and, for large data, the oversized path).
+		n := int(rounds%16) + 2
+		for i := 0; i < n; i++ {
+			record(bytes.Repeat(data, i%3+1))
+			record([]byte{byte(i), 0x1e, byte(fd)})
+		}
+		record(bytes.Repeat([]byte{0x5a}, 1<<20)) // guaranteed fresh chunk
+		for i, p := range puts {
+			if !bytes.Equal(p.stored, p.want) {
+				t.Fatalf("put %d corrupted after later puts: got %q, want %q", i, p.stored, p.want)
+			}
+			if h := stateHash(p.stored, fd); bytes.Equal(p.want, data) && h != h1 {
+				t.Fatalf("interned copy of %q hashes %#x, original %#x", data, h, h1)
+			}
+		}
+	})
+}

@@ -281,6 +281,11 @@ func (e *Explorer) Edges(id NodeID) []Edge {
 // NodeFD returns the FD-sequence index tag of node id.
 func (e *Explorer) NodeFD(id NodeID) int { return int(e.fdIdx[id]) }
 
+// NodeEncoding returns node id's interned state encoding (the config tag).
+// The slice aliases the explorer's arena; callers must not modify it.
+// Exposed for the oracle layer's node-by-node differ.
+func (e *Explorer) NodeEncoding(id NodeID) []byte { return e.nodeEnc(id) }
+
 // nodeEnc returns node id's interned state encoding (the config tag).
 func (e *Explorer) nodeEnc(id NodeID) []byte {
 	off := e.encOff[id]
