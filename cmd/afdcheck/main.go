@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/afd"
 	"repro/internal/consensus"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -36,8 +37,20 @@ func run() error {
 		prefix   = flag.Bool("prefix", false, "prefix mode: enforce only safety clauses (refutable on a prefix)")
 		complete = flag.Bool("complete", true, "treat the trace as a complete run (termination enforced)")
 		list     = flag.Bool("list", false, "list known detector families and exit")
+		telAddr  = flag.String("telemetry.addr", "", "serve expvar+pprof while checking (profiling long checks)")
+		traceOut = flag.String("trace.out", "", "write a Chrome trace_event JSON file on exit")
 	)
 	flag.Parse()
+
+	// Checking is an offline pass over a recorded trace — no simulation
+	// planes to meter — so the flags here buy live pprof on big inputs and a
+	// (mostly empty) trace file, keeping the flag surface uniform across the
+	// cmd/* binaries.
+	_, flush, err := telemetry.Init(*telAddr, *traceOut)
+	if err != nil {
+		return err
+	}
+	defer flush()
 
 	if *list {
 		for _, fam := range afd.Families(*n) {

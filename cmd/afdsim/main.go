@@ -25,8 +25,31 @@ import (
 	"repro/internal/sched"
 	"repro/internal/selfimpl"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// tel is the process-wide telemetry sink; nil unless -telemetry.addr or
+// -trace.out is given.  Modes that build their ioa.System directly
+// (selfimpl, kset, nbac) thread it through every plane; detector and
+// consensus delegate system construction to internal helpers, so for those
+// the flags still provide live expvar+pprof but no per-plane metrics.
+var tel telemetry.Sink
+
+// instrument wires the sink through a freshly built system: automaton and
+// channel instrumentation, scheduler step counters, and task labels for the
+// per-task fire counts.
+func instrument(sys *ioa.System, opts *sched.Options) {
+	if tel == nil {
+		return
+	}
+	sys.SetTelemetry(tel)
+	system.InstrumentChannels(sys, tel)
+	opts.Telemetry = tel
+	if reg, ok := tel.(*telemetry.Registry); ok {
+		reg.SetTaskLabels(system.TaskLabels(sys))
+	}
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -37,18 +60,28 @@ func main() {
 
 func run() error {
 	var (
-		mode    = flag.String("mode", "consensus", "detector | selfimpl | consensus | kset | nbac")
-		family  = flag.String("fd", afd.FamilyOmega, "failure-detector family (see afdcheck -list)")
-		n       = flag.Int("n", 3, "number of locations")
-		crash   = flag.String("crash", "", "comma-separated locations to crash")
-		gate    = flag.Int("gate", 30, "events before the first crash releases")
-		steps   = flag.Int("steps", 20000, "step bound")
-		seed    = flag.Int64("seed", -1, "random-schedule seed; -1 = fair round-robin")
-		values  = flag.String("values", "", "comma-separated proposals/votes (consensus, kset, nbac); empty = free/yes")
-		jsonOut = flag.String("json", "", "write the trace as JSON to this file")
-		verbose = flag.Bool("v", false, "print every trace event")
+		mode     = flag.String("mode", "consensus", "detector | selfimpl | consensus | kset | nbac")
+		family   = flag.String("fd", afd.FamilyOmega, "failure-detector family (see afdcheck -list)")
+		n        = flag.Int("n", 3, "number of locations")
+		crash    = flag.String("crash", "", "comma-separated locations to crash")
+		gate     = flag.Int("gate", 30, "events before the first crash releases")
+		steps    = flag.Int("steps", 20000, "step bound")
+		seed     = flag.Int64("seed", -1, "random-schedule seed; -1 = fair round-robin")
+		values   = flag.String("values", "", "comma-separated proposals/votes (consensus, kset, nbac); empty = free/yes")
+		jsonOut  = flag.String("json", "", "write the trace as JSON to this file")
+		verbose  = flag.Bool("v", false, "print every trace event")
+		telAddr  = flag.String("telemetry.addr", "", "serve expvar+pprof+metrics on this address")
+		traceOut = flag.String("trace.out", "", "write a Chrome trace_event JSON file on exit")
 	)
 	flag.Parse()
+
+	var flush func()
+	var err error
+	tel, flush, err = telemetry.Init(*telAddr, *traceOut)
+	if err != nil {
+		return err
+	}
+	defer flush()
 
 	plan, err := parseLocs(*crash)
 	if err != nil {
@@ -156,6 +189,7 @@ func runSelfImpl(family string, n int, plan []ioa.Loc, gate, steps int, seed int
 	if gate > 0 {
 		opts.Gate = sched.CrashesAfter(gate, gate)
 	}
+	instrument(sys, &opts)
 	if seed >= 0 {
 		sched.Random(sys, seed, opts)
 	} else {
@@ -242,6 +276,7 @@ func runKSet(n int, plan []ioa.Loc, gate, steps int, seed int64, values, jsonOut
 	if gate > 0 {
 		opts.Gate = sched.CrashesAfter(gate, gate)
 	}
+	instrument(sys, &opts)
 	if seed >= 0 {
 		sched.Random(sys, seed, opts)
 	} else {
@@ -313,6 +348,7 @@ func runNBAC(family string, n int, plan []ioa.Loc, gate, steps int, seed int64, 
 		}
 		return outcomes >= n-len(plan)
 	}
+	instrument(sys, &opts)
 	if seed >= 0 {
 		sched.Random(sys, seed, opts)
 	} else {

@@ -16,8 +16,10 @@ import (
 
 	"repro/internal/afd"
 	"repro/internal/ioa"
+	"repro/internal/oracle"
 	"repro/internal/sched"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 	"repro/internal/valence"
 )
 
@@ -49,6 +51,13 @@ type report struct {
 	Reps       int             `json:"reps"`
 	Sizes      []sizeResult    `json:"sizes"`
 	Valence    []valenceResult `json:"valence"`
+	// Telemetry is a metric snapshot from one fully instrumented pass (E1
+	// n=8 with an attached differential oracle, plus one telemetered valence
+	// exploration) run AFTER the timed reps above, so the timings stay
+	// un-instrumented while the report still records events applied, oracle
+	// sweep counts and latencies, channel-depth distribution, and the
+	// valence frontier peak for cross-PR comparison.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 func run(n, steps int) (events int, elapsed time.Duration, err error) {
@@ -68,11 +77,63 @@ func run(n, steps int) (events int, elapsed time.Duration, err error) {
 	return sys.Steps(), time.Since(start), nil
 }
 
+// telemetrySection performs the single instrumented pass feeding the
+// report's telemetry section: the E1 composition at n=8 with every plane
+// wired (system, channels, scheduler) and a differential oracle attached,
+// then one valence exploration reporting frontier width.
+func telemetrySection(reg *telemetry.Registry, steps int) (*telemetry.Snapshot, error) {
+	const n = 8
+	d, err := afd.Lookup(afd.FamilyP, n)
+	if err != nil {
+		return nil, err
+	}
+	autos := []ioa.Automaton{d.Automaton(n)}
+	autos = append(autos, system.Channels(n)...)
+	autos = append(autos, system.NewCrash(system.NoFaults()))
+	sys, err := ioa.NewSystem(autos...)
+	if err != nil {
+		return nil, err
+	}
+	sys.SetTelemetry(reg)
+	system.InstrumentChannels(sys, reg)
+	reg.SetTaskLabels(system.TaskLabels(sys))
+	o := oracle.Attach(sys, oracle.Options{Telemetry: reg})
+	sched.RoundRobin(sys, sched.Options{MaxSteps: steps, Telemetry: reg})
+	if err := o.Check(); err != nil {
+		return nil, fmt.Errorf("oracle divergence during telemetry pass: %w", err)
+	}
+	e, err := valence.New(valence.Config{
+		N: 2, Family: afd.FamilyOmega, TD: valence.OmegaTD(2, 6, nil), Telemetry: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Explore(); err != nil {
+		return nil, err
+	}
+	snap := reg.Snapshot()
+	return &snap, nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_pr.json", "output path")
 	steps := flag.Int("steps", 100_000, "events per measured run")
 	reps := flag.Int("reps", 3, "repetitions per size (best is reported)")
+	telAddr := flag.String("telemetry.addr", "", "serve expvar+pprof+metrics on this address")
+	traceOut := flag.String("trace.out", "", "write a Chrome trace_event JSON file on exit")
 	flag.Parse()
+
+	tel, flush, err := telemetry.Init(*telAddr, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// The telemetry section always runs; the flags only add live serving and
+	// a trace file on top of the same registry.
+	reg, ok := tel.(*telemetry.Registry)
+	if !ok {
+		reg = telemetry.NewRegistry()
+	}
 
 	rep := report{
 		Experiment: "E1",
@@ -137,6 +198,16 @@ func main() {
 				best.Config, workers, best.Nodes, time.Duration(best.NsBest), best.NodesPerSec)
 		}
 	}
+	snap, err := telemetrySection(reg, *steps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: telemetry pass: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Telemetry = snap
+	fmt.Printf("telemetry: %d events applied, %d oracle sweeps, frontier peak %d\n",
+		snap.Counters["events_applied"], snap.Counters["oracle_sweeps"],
+		snap.Gauges["valence_frontier_peak"])
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -147,4 +218,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	flush()
 }

@@ -38,6 +38,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/ioa"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -97,18 +98,25 @@ func parseLocs(s string) ([]ioa.Loc, error) {
 func runSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		n       = fs.Int("n", 3, "number of locations")
-		maxT    = fs.Int("t", -1, "max crashes per plan (-1 = each target's tolerance)")
-		seeds   = fs.Int("seeds", 8, "seeds per (target, scheduler, plan)")
-		steps   = fs.Int("steps", 0, "step bound per run (0 = default)")
-		targets = fs.String("targets", "", "comma-separated target IDs (default Ω, ◇P, consensus:Ω)")
-		scheds  = fs.String("scheds", "", "comma-separated schedulers: rr,random,lifo (default all)")
-		workers = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		outDir  = fs.String("out", "", "write one artifact per failure to this directory")
+		n        = fs.Int("n", 3, "number of locations")
+		maxT     = fs.Int("t", -1, "max crashes per plan (-1 = each target's tolerance)")
+		seeds    = fs.Int("seeds", 8, "seeds per (target, scheduler, plan)")
+		steps    = fs.Int("steps", 0, "step bound per run (0 = default)")
+		targets  = fs.String("targets", "", "comma-separated target IDs (default Ω, ◇P, consensus:Ω)")
+		scheds   = fs.String("scheds", "", "comma-separated schedulers: rr,random,lifo (default all)")
+		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		outDir   = fs.String("out", "", "write one artifact per failure to this directory")
+		telAddr  = fs.String("telemetry.addr", "", "serve expvar+pprof+metrics on this address")
+		traceOut = fs.String("trace.out", "", "write a Chrome trace_event JSON file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tel, flush, err := telemetry.Init(*telAddr, *traceOut)
+	if err != nil {
+		return err
+	}
+	defer flush()
 	ts, err := parseTargets(*targets)
 	if err != nil {
 		return err
@@ -118,14 +126,15 @@ func runSweep(args []string) error {
 		schedList = strings.Split(*scheds, ",")
 	}
 	rep := chaos.Sweep(chaos.SweepConfig{
-		Targets: ts,
-		N:       *n,
-		MaxT:    *maxT,
-		Seeds:   *seeds,
-		Steps:   *steps,
-		Scheds:  schedList,
-		Workers: *workers,
-		Shrink:  true,
+		Targets:   ts,
+		N:         *n,
+		MaxT:      *maxT,
+		Seeds:     *seeds,
+		Steps:     *steps,
+		Scheds:    schedList,
+		Workers:   *workers,
+		Shrink:    true,
+		Telemetry: tel,
 	})
 	fmt.Println(rep.Summary())
 	for _, e := range rep.Errors {
@@ -162,10 +171,17 @@ func runOne(args []string) error {
 		delayNth   = fs.Int("delay-nth", 0, "gate: delay every nth delivery")
 		delayFor   = fs.Int("delay-for", 0, "gate: delivery delay in steps")
 		outFile    = fs.String("out", "", "write the run as an artifact to this file")
+		telAddr    = fs.String("telemetry.addr", "", "serve expvar+pprof+metrics on this address")
+		traceOut   = fs.String("trace.out", "", "write a Chrome trace_event JSON file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tel, flush, err := telemetry.Init(*telAddr, *traceOut)
+	if err != nil {
+		return err
+	}
+	defer flush()
 	t, err := chaos.ParseTarget(*target)
 	if err != nil {
 		return err
@@ -177,7 +193,11 @@ func runOne(args []string) error {
 	gates := chaos.NoGates()
 	gates.CrashAfter, gates.CrashGap = *crashAfter, *crashGap
 	gates.DelayNth, gates.DelayFor = *delayNth, *delayFor
-	v, err := chaos.Execute(chaos.Run{
+	var instrument func(*chaos.Built) func() error
+	if tel != nil {
+		instrument = chaos.TelemetryHook(tel)
+	}
+	v, err := chaos.ExecuteInstrumented(chaos.Run{
 		Target: t,
 		N:      *n,
 		Plan:   system.CrashOf(locs...),
@@ -185,13 +205,21 @@ func runOne(args []string) error {
 		Sched:  *schedKind,
 		Seed:   *seed,
 		Steps:  *steps,
-	})
+	}, instrument)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d steps (%s), %d trace events\n", t.ID(), v.Steps, v.Reason, len(v.Trace))
 	if *outFile != "" {
-		if err := writeArtifact(*outFile, v.Artifact()); err != nil {
+		a := v.Artifact()
+		// Cross-link artifact and Chrome trace both ways when both exist.
+		if *traceOut != "" {
+			a.TraceRef = *traceOut
+			if reg, ok := tel.(*telemetry.Registry); ok {
+				reg.Trace().SetMeta("artifact", *outFile)
+			}
+		}
+		if err := writeArtifact(*outFile, a); err != nil {
 			return err
 		}
 		fmt.Println("artifact:", *outFile)
@@ -205,12 +233,21 @@ func runOne(args []string) error {
 
 func runReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	var (
+		telAddr  = fs.String("telemetry.addr", "", "serve expvar+pprof+metrics on this address")
+		traceOut = fs.String("trace.out", "", "re-trace the replayed run to a Chrome trace_event JSON file")
+	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: chaos replay ARTIFACT.json")
+		return fmt.Errorf("usage: chaos replay [flags] ARTIFACT.json")
 	}
+	tel, flush, err := telemetry.Init(*telAddr, *traceOut)
+	if err != nil {
+		return err
+	}
+	defer flush()
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
 		return err
@@ -220,7 +257,14 @@ func runReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	v, err := chaos.Replay(a)
+	var instrument func(*chaos.Built) func() error
+	if tel != nil {
+		instrument = chaos.TelemetryHook(tel)
+		if reg, ok := tel.(*telemetry.Registry); ok {
+			reg.Trace().SetMeta("artifact", fs.Arg(0))
+		}
+	}
+	v, err := chaos.ReplayInstrumented(a, instrument)
 	if err != nil {
 		return err
 	}

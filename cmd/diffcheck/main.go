@@ -36,6 +36,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/sched"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/valence"
 )
@@ -49,20 +50,28 @@ func main() {
 
 func run() error {
 	var (
-		n       = flag.Int("n", 3, "number of locations")
-		maxT    = flag.Int("t", -1, "max crashes per plan (-1 = each target's tolerance)")
-		seeds   = flag.Int("seeds", 8, "seeds per (target, scheduler, plan)")
-		plans   = flag.Int("plans", 0, "cap on fault plans per target (0 = all subsets)")
-		steps   = flag.Int("steps", 0, "step bound per run (0 = default)")
-		stride  = flag.Int("stride", 1, "events between full oracle sweeps (1 = every event)")
-		scheds  = flag.String("scheds", "", "comma-separated schedulers: rr,random,lifo (default all)")
-		targets = flag.String("targets", "", "comma-separated target IDs (default Ω, ◇P, consensus:Ω)")
-		workers = flag.Int("workers", 0, "parallel runner workers (0 = GOMAXPROCS)")
-		valDiff = flag.Bool("valence", true, "also diff serial vs parallel valence explorers")
-		short   = flag.Bool("short", false, "CI-sized grid: 2 seeds, 3 plans, shorter runs")
-		outDir  = flag.String("out", "", "write one artifact per failure to this directory")
+		n        = flag.Int("n", 3, "number of locations")
+		maxT     = flag.Int("t", -1, "max crashes per plan (-1 = each target's tolerance)")
+		seeds    = flag.Int("seeds", 8, "seeds per (target, scheduler, plan)")
+		plans    = flag.Int("plans", 0, "cap on fault plans per target (0 = all subsets)")
+		steps    = flag.Int("steps", 0, "step bound per run (0 = default)")
+		stride   = flag.Int("stride", 1, "events between full oracle sweeps (1 = every event)")
+		scheds   = flag.String("scheds", "", "comma-separated schedulers: rr,random,lifo (default all)")
+		targets  = flag.String("targets", "", "comma-separated target IDs (default Ω, ◇P, consensus:Ω)")
+		workers  = flag.Int("workers", 0, "parallel runner workers (0 = GOMAXPROCS)")
+		valDiff  = flag.Bool("valence", true, "also diff serial vs parallel valence explorers")
+		short    = flag.Bool("short", false, "CI-sized grid: 2 seeds, 3 plans, shorter runs")
+		outDir   = flag.String("out", "", "write one artifact per failure to this directory")
+		telAddr  = flag.String("telemetry.addr", "", "serve expvar+pprof+metrics on this address")
+		traceOut = flag.String("trace.out", "", "write a Chrome trace_event JSON file on exit")
 	)
 	flag.Parse()
+
+	tel, flush, err := telemetry.Init(*telAddr, *traceOut)
+	if err != nil {
+		return err
+	}
+	defer flush()
 
 	if *short {
 		*seeds = 2
@@ -94,9 +103,27 @@ func run() error {
 	fmt.Printf("diffcheck: %d runs (%d targets × %d schedulers × %d seeds × ≤%d plans), oracle stride %d\n",
 		len(runs), len(ts), len(schedList), *seeds, planCap(*n, *maxT, *plans, ts), *stride)
 
-	inst := instrument(*stride)
+	inst := instrument(*stride, tel)
 	exec := func(r chaos.Run) (chaos.Verdict, error) {
 		return chaos.ExecuteInstrumented(r, inst)
+	}
+	if tel != nil {
+		// Coarse per-run telemetry only (runs/failures/spans): sweep runs
+		// execute concurrently, so deep system-level metrics would interleave.
+		// Oracle sweep counters and latency histograms are atomic and stay
+		// meaningful across interleaved runs, so those ARE wired (see
+		// instrument below).
+		base := exec
+		exec = func(r chaos.Run) (chaos.Verdict, error) {
+			t0 := tel.Now()
+			v, err := base(r)
+			tel.Count(telemetry.CChaosRuns, 1)
+			tel.Span(telemetry.CatChaos, r.Target.ID(), t0, 0, int64(v.Steps))
+			if err == nil && v.Failed() {
+				tel.Count(telemetry.CChaosFailures, 1)
+			}
+			return v, err
+		}
 	}
 
 	failures, errs := sweep(runs, exec, *workers)
@@ -124,7 +151,7 @@ func run() error {
 
 	valFailures := 0
 	if *valDiff {
-		valFailures = diffValence(*short)
+		valFailures = diffValence(*short, tel)
 	}
 
 	fmt.Printf("diffcheck: %d runs, %d divergences, %d spec failures, %d valence diff failures\n",
@@ -137,10 +164,11 @@ func run() error {
 
 // instrument attaches a fresh oracle (full sweeps every stride events plus
 // per-event channel shadows) to each built system; the returned check runs
-// the end-of-run sweep and yields the first divergence.
-func instrument(stride int) func(*chaos.Built) func() error {
+// the end-of-run sweep and yields the first divergence.  The telemetry sink
+// (nil when off) meters sweep counts and latencies across all runs.
+func instrument(stride int, tel telemetry.Sink) func(*chaos.Built) func() error {
 	return func(b *chaos.Built) func() error {
-		o := oracle.Attach(b.Sys, oracle.Options{Stride: stride, Shadow: true})
+		o := oracle.Attach(b.Sys, oracle.Options{Stride: stride, Shadow: true, Telemetry: tel})
 		return o.Check
 	}
 }
@@ -251,8 +279,10 @@ func sweep(runs []chaos.Run, exec func(chaos.Run) (chaos.Verdict, error), worker
 }
 
 // diffValence runs the serial-vs-parallel explorer diff over a small config
-// grid; returns the number of failures.
-func diffValence(short bool) int {
+// grid; returns the number of failures.  The sink (nil when off) meters both
+// explorers of each diff — node/edge counters double-count by design, since
+// the diff runs every config twice.
+func diffValence(short bool, tel telemetry.Sink) int {
 	type vc struct {
 		name string
 		cfg  valence.Config
@@ -273,6 +303,7 @@ func diffValence(short bool) int {
 	}
 	failures := 0
 	for _, c := range cases {
+		c.cfg.Telemetry = tel
 		if err := oracle.DiffExplorers(c.cfg, oracle.DiffOptions{}); err != nil {
 			fmt.Printf("  VALENCE-DIVERGENCE %s\n    %v\n", c.name, err)
 			failures++

@@ -22,6 +22,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/selfimpl"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/transform"
 	"repro/internal/valence"
@@ -30,11 +31,39 @@ import (
 var (
 	e10MaxHooks = flag.Int("maxhooks", 200, "hook-search cap in E10-E11 (0 = all)")
 	e10Workers  = flag.Int("workers", 0, "exploration workers in E10-E11 (0 = GOMAXPROCS)")
+	telAddr     = flag.String("telemetry.addr", "", "serve expvar+pprof+metrics on this address (e.g. localhost:6060)")
+	traceOut    = flag.String("trace.out", "", "write a Chrome trace_event JSON file on exit (open in Perfetto)")
+
+	// tel is nil unless -telemetry.addr or -trace.out is given; every
+	// instrumentation site nil-checks it, so plain runs pay nothing.
+	tel telemetry.Sink
 )
+
+// instrument threads the process sink through one composed run: the system,
+// its channel mesh, and the scheduler options.  No-op when telemetry is off.
+func instrument(sys *ioa.System, opts *sched.Options) {
+	if tel == nil {
+		return
+	}
+	sys.SetTelemetry(tel)
+	system.InstrumentChannels(sys, tel)
+	opts.Telemetry = tel
+	if reg, ok := tel.(*telemetry.Registry); ok {
+		reg.SetTaskLabels(system.TaskLabels(sys))
+	}
+}
 
 func main() {
 	only := flag.String("only", "", "run a single experiment (e.g. E7)")
 	flag.Parse()
+	var flush func()
+	var err error
+	tel, flush, err = telemetry.Init(*telAddr, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer flush()
 	type exp struct {
 		id   string
 		name string
@@ -67,6 +96,7 @@ func main() {
 		}
 	}
 	if failed > 0 {
+		flush() // os.Exit skips the deferred flush
 		os.Exit(1)
 	}
 }
@@ -86,8 +116,10 @@ func e1Throughput() error {
 			return err
 		}
 		const steps = 100_000
+		opts := sched.Options{MaxSteps: steps}
+		instrument(sys, &opts)
 		start := time.Now()
-		sched.RoundRobin(sys, sched.Options{MaxSteps: steps})
+		sched.RoundRobin(sys, opts)
 		el := time.Since(start)
 		fmt.Printf("%-6d %-12d %-12.0f\n", n, sys.Steps(), float64(sys.Steps())/el.Seconds())
 	}
@@ -130,7 +162,9 @@ func e5SelfImpl() error {
 		if err != nil {
 			return err
 		}
-		sched.RoundRobin(sys, sched.Options{MaxSteps: 800, Gate: sched.CrashesAfter(200, 0)})
+		opts := sched.Options{MaxSteps: 800, Gate: sched.CrashesAfter(200, 0)}
+		instrument(sys, &opts)
+		sched.RoundRobin(sys, opts)
 		full := sys.Trace()
 		mixed := trace.Project(full, func(a ioa.Action) bool {
 			return a.Kind == ioa.KindCrash ||
@@ -298,6 +332,7 @@ func e10Valence() error {
 	for _, c := range configs {
 		cfg := c.cfg
 		cfg.Workers = *e10Workers
+		cfg.Telemetry = tel
 		e, err := valence.New(cfg)
 		if err != nil {
 			return err
@@ -392,7 +427,9 @@ func e12Bounded() error {
 		if err != nil {
 			return err
 		}
-		sched.RoundRobin(sys, sched.Options{MaxSteps: 50_000, Gate: sched.CrashesAfter(20, 20)})
+		opts := sched.Options{MaxSteps: 50_000, Gate: sched.CrashesAfter(20, 20)}
+		instrument(sys, &opts)
+		sched.RoundRobin(sys, opts)
 		distinct := make(map[string]bool)
 		for _, a := range consensus.Decisions(sys.Trace()) {
 			distinct[a.Payload] = true
@@ -590,7 +627,9 @@ func e16Broadcast() error {
 		if err != nil {
 			return err
 		}
-		sched.RoundRobin(sys, sched.Options{MaxSteps: 30_000, Gate: sched.CrashesAfter(20, 20)})
+		opts := sched.Options{MaxSteps: 30_000, Gate: sched.CrashesAfter(20, 20)}
+		instrument(sys, &opts)
+		sched.RoundRobin(sys, opts)
 		delivers := trace.Count(sys.Trace(), func(a ioa.Action) bool {
 			return a.Kind == ioa.KindEnvOut && a.Name == problems.ActNameDeliver
 		})
@@ -632,6 +671,7 @@ func e16Broadcast() error {
 		if tc.gate > 0 {
 			opts.Gate = sched.CrashesAfter(tc.gate, tc.gate)
 		}
+		instrument(sys, &opts)
 		sched.RoundRobin(sys, opts)
 		delivers := trace.Count(sys.Trace(), func(a ioa.Action) bool {
 			return a.Kind == ioa.KindEnvOut && a.Name == problems.ActNameTRBDeliver

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/afd"
 	"repro/internal/ioa"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/valence"
 )
@@ -49,8 +50,16 @@ func run() error {
 		workers  = flag.Int("workers", 0, "exploration workers (0 = GOMAXPROCS)")
 		progress = flag.Int("progress", 100_000, "print a progress line every this many nodes (0 = only on SIGINT)")
 		dot      = flag.String("dot", "", "write the explored graph as Graphviz DOT to this file")
+		telAddr  = flag.String("telemetry.addr", "", "serve expvar+pprof+metrics on this address")
+		traceOut = flag.String("trace.out", "", "write a Chrome trace_event JSON file on exit")
 	)
 	flag.Parse()
+
+	tel, flush, err := telemetry.Init(*telAddr, *traceOut)
+	if err != nil {
+		return err
+	}
+	defer flush()
 
 	crashAt := make(map[ioa.Loc]int)
 	if *crash != "" {
@@ -125,6 +134,7 @@ func run() error {
 	e, err := valence.New(valence.Config{
 		N: *n, Family: family, Algo: *algo, TD: tD, Values: vals,
 		MaxNodes: *maxNodes, Workers: *workers, ProgressEvery: every,
+		Telemetry: tel,
 		Progress: func(p valence.Progress) bool {
 			sig := sigints.Load()
 			if *progress > 0 || sig > 0 || p.Done {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/ioa"
 	"repro/internal/sched"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 )
 
 // goldenHash digests an executed system: every external event in order, a
@@ -238,6 +239,60 @@ func TestGoldenCrossEngineReplay(t *testing.T) {
 			bad.Trace[len(bad.Trace)/2].Payload += "-tampered"
 			if err := chaos.ReplayThroughSystem(&bad); err == nil {
 				t.Fatal("tampered trace replayed cleanly through a fresh system")
+			}
+		})
+	}
+}
+
+// TestGoldenTracesTelemetryOn re-runs representative pinned cases with the
+// full telemetry plane attached — system sink, channel instrumentation,
+// scheduler counters — and requires the SAME golden hashes as the metered-off
+// runs.  This is the "attaching telemetry never perturbs scheduling"
+// guarantee: instrumentation is strictly read-only, so the trace and final
+// state must stay byte-identical.
+func TestGoldenTracesTelemetryOn(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t testing.TB, reg *telemetry.Registry) *ioa.System
+	}{
+		{"rr/detector/n4/crash1", func(t testing.TB, reg *telemetry.Registry) *ioa.System {
+			sys := detectorSystem(t, 4, system.CrashOf(1))
+			sys.SetTelemetry(reg)
+			system.InstrumentChannels(sys, reg)
+			sched.RoundRobin(sys, sched.Options{
+				MaxSteps: 600, Gate: sched.CrashesAfter(40, 20), Telemetry: reg,
+			})
+			return sys
+		}},
+		{"random/detector/n4/seed1", func(t testing.TB, reg *telemetry.Registry) *ioa.System {
+			sys := detectorSystem(t, 4, system.CrashOf(1))
+			sys.SetTelemetry(reg)
+			system.InstrumentChannels(sys, reg)
+			sched.Random(sys, 1, sched.Options{
+				MaxSteps: 600, Gate: sched.CrashesAfter(40, 20), Telemetry: reg,
+			})
+			return sys
+		}},
+		{"random/consensus/n3/seed7", func(t testing.TB, reg *telemetry.Registry) *ioa.System {
+			sys := consensusSystem(t, 3, system.CrashOf(0))
+			sys.SetTelemetry(reg)
+			system.InstrumentChannels(sys, reg)
+			sched.Random(sys, 7, sched.Options{
+				MaxSteps: 2000, Gate: sched.CrashesAfter(50, 0), Telemetry: reg,
+			})
+			return sys
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := telemetry.NewRegistry()
+			sys := tc.run(t, reg)
+			if got, want := goldenHash(sys), golden[tc.name]; got != want {
+				t.Errorf("telemetry perturbed the schedule: hash = %s, pinned %s", got, want)
+			}
+			if reg.Value(telemetry.CEventsApplied) != int64(sys.Steps()) {
+				t.Errorf("events_applied = %d, want %d (telemetry attached but not counting)",
+					reg.Value(telemetry.CEventsApplied), sys.Steps())
 			}
 		})
 	}

@@ -69,12 +69,20 @@ func RunFromArtifact(a *trace.Artifact) (Run, error) {
 // produce it, so a stale-ready-set bug cannot hide behind deterministic
 // re-execution of itself.  It used to stop at the verdict comparison, which
 // accepted artifacts whose traces no current system can actually perform.
-func Replay(a *trace.Artifact) (Verdict, error) {
+func Replay(a *trace.Artifact) (Verdict, error) { return ReplayInstrumented(a, nil) }
+
+// ReplayInstrumented is Replay with an ExecuteInstrumented hook, so a
+// recorded failure can be re-executed with telemetry attached
+// (TelemetryHook) or under a fresh oracle — the artifact names the run, the
+// hook chooses what to watch.  This is the trace.Artifact.TraceRef
+// round-trip: a chaos binary records an artifact plus a Chrome trace, and a
+// later session re-traces exactly that run from the artifact alone.
+func ReplayInstrumented(a *trace.Artifact, instrument func(*Built) func() error) (Verdict, error) {
 	r, err := RunFromArtifact(a)
 	if err != nil {
 		return Verdict{}, err
 	}
-	v, err := Execute(r)
+	v, err := ExecuteInstrumented(r, instrument)
 	if err != nil {
 		return Verdict{}, err
 	}

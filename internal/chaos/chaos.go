@@ -36,6 +36,7 @@ import (
 	"repro/internal/ioa"
 	"repro/internal/sched"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -69,6 +70,10 @@ type Built struct {
 	Stop func(sys *ioa.System, last ioa.Action) bool
 	// Prio, when non-nil, ranks actions for SchedLIFO (newest-send-first).
 	Prio sched.Priority
+	// Tel, when non-nil, is threaded into the scheduler as
+	// sched.Options.Telemetry.  Instrumentation hooks (TelemetryHook) set it
+	// alongside the system- and channel-level sinks.
+	Tel telemetry.Sink
 }
 
 // Target is a system-under-test the chaos runner knows how to build and
@@ -138,6 +143,20 @@ func Execute(r Run) (Verdict, error) { return ExecuteInstrumented(r, nil) }
 // divergence between engines undermines the trace the checker judged.
 // instrument must be safe to call once per execution; ShrinkWith passes one
 // to re-instrument every shrink candidate.
+// TelemetryHook returns an ExecuteInstrumented hook wiring tel through every
+// plane of a built run — the scheduler (Built.Tel), the system
+// (ioa.System.SetTelemetry), and the channel mesh
+// (system.InstrumentChannels) — with a nil final check.  Compose it with an
+// oracle hook by calling both from one instrument function.
+func TelemetryHook(tel telemetry.Sink) func(*Built) func() error {
+	return func(b *Built) func() error {
+		b.Tel = tel
+		b.Sys.SetTelemetry(tel)
+		system.InstrumentChannels(b.Sys, tel)
+		return nil
+	}
+}
+
 func ExecuteInstrumented(r Run, instrument func(*Built) func() error) (Verdict, error) {
 	lifo := r.Sched == SchedLIFO
 	b, err := r.Target.Build(r.N, r.Plan, lifo)
@@ -150,9 +169,10 @@ func ExecuteInstrumented(r Run, instrument func(*Built) func() error) (Verdict, 
 	}
 	var log []trace.GateVeto
 	opts := sched.Options{
-		MaxSteps: r.steps(),
-		Stop:     b.Stop,
-		Gate:     r.Gates.Compile(&log),
+		MaxSteps:  r.steps(),
+		Stop:      b.Stop,
+		Gate:      r.Gates.Compile(&log),
+		Telemetry: b.Tel,
 	}
 	var res sched.Result
 	switch r.Sched {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/sched"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 )
 
 // SweepConfig configures a chaos sweep: the cartesian product of targets ×
@@ -31,6 +32,14 @@ type SweepConfig struct {
 	Workers int
 	// Shrink shrinks every failing run to a minimal reproducer.
 	Shrink bool
+	// Telemetry, when non-nil, counts executed runs (CChaosRuns) and
+	// specification failures (CChaosFailures) and records one chaos-category
+	// span per run (named by target ID, tid = worker).  Sweep progress then
+	// shows up live on the expvar endpoint instead of only in the final
+	// Report.  Per-run system internals are NOT wired — a sweep's runs
+	// execute concurrently and would interleave meaninglessly; use
+	// ExecuteInstrumented with TelemetryHook to deep-instrument one run.
+	Telemetry telemetry.Sink
 }
 
 // DefaultTargets is the standard sweep: the Ω and ◇P detectors and
@@ -124,10 +133,21 @@ func Sweep(cfg SweepConfig) *Report {
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for r := range jobs {
+				var t0 int64
+				if cfg.Telemetry != nil {
+					t0 = cfg.Telemetry.Now()
+				}
 				v, err := Execute(r)
+				if cfg.Telemetry != nil {
+					cfg.Telemetry.Count(telemetry.CChaosRuns, 1)
+					cfg.Telemetry.Span(telemetry.CatChaos, r.Target.ID(), t0, int32(worker), int64(v.Steps))
+					if err == nil && v.Failed() {
+						cfg.Telemetry.Count(telemetry.CChaosFailures, 1)
+					}
+				}
 				if err != nil {
 					mu.Lock()
 					report.Errors = append(report.Errors, err)
@@ -146,7 +166,7 @@ func Sweep(cfg SweepConfig) *Report {
 				report.ShrinkTries += tries
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	for _, r := range runs {
 		jobs <- r

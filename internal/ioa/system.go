@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // System is a composition of I/O automata (paper Section 2.3).  When a
@@ -45,6 +47,7 @@ type System struct {
 	steps    int               // total events fired (including internal)
 	hidden   func(Action) bool // reclassified-as-internal predicate, may be nil
 	observer Observer          // post-Apply hook, nil when no oracle attached
+	tel      telemetry.Sink    // metric/trace sink, nil when telemetry is off
 }
 
 // Observer is notified after every Apply, once the event's effects (owner
@@ -59,6 +62,13 @@ type Observer func(owner int, act Action)
 // Clones never inherit the observer: an observer typically closes over its
 // system, and execution-tree drivers clone thousands of systems per run.
 func (s *System) SetObserver(o Observer) { s.observer = o }
+
+// SetTelemetry installs (or, with nil, removes) the system's telemetry sink.
+// Like the observer, clones never inherit it: execution-tree drivers clone
+// thousands of systems per run, and their steps would drown the trace.  The
+// disabled path is one predictable branch per Apply; instrumentation is
+// strictly read-only, so golden traces are byte-identical with a sink on.
+func (s *System) SetTelemetry(tel telemetry.Sink) { s.tel = tel }
 
 // NewSystem composes the given automata.  It returns an error if two automata
 // share a name (composition requires uniquely named components).
@@ -242,6 +252,10 @@ func (s *System) Apply(owner int, act Action) {
 			s.dirty = append(s.dirty, owner)
 		}
 	}
+	// Each delivery appends its acceptor to s.dirty, so the delivery count
+	// falls out of the slice growth — the closure stays write-free over
+	// locals, exactly as before telemetry existed.
+	dirtyBase := len(s.dirty)
 	s.forEachCandidate(act, func(ai int) {
 		if ai == owner {
 			return
@@ -251,6 +265,7 @@ func (s *System) Apply(owner int, act Action) {
 			s.dirty = append(s.dirty, ai)
 		}
 	})
+	ndeliv := len(s.dirty) - dirtyBase
 	s.steps++
 	if act.Kind != KindInternal && (s.hidden == nil || !s.hidden(act)) {
 		s.trace = append(s.trace, act)
@@ -261,8 +276,27 @@ func (s *System) Apply(owner int, act Action) {
 	for _, ai := range s.dirty {
 		s.repoll(ai)
 	}
+	if s.tel != nil {
+		s.telemetryApply(owner, act, ndeliv)
+	}
 	if s.observer != nil {
 		s.observer(owner, act)
+	}
+}
+
+// telemetryApply records the completed event in the attached sink.  Only
+// called when s.tel != nil; kept out of Apply's body so the disabled path
+// stays a single branch.
+func (s *System) telemetryApply(owner int, act Action, ndeliv int) {
+	s.tel.Count(telemetry.CEventsApplied, 1)
+	if ndeliv > 0 {
+		s.tel.Count(telemetry.CDeliveries, int64(ndeliv))
+	}
+	if act.Kind == KindCrash {
+		s.tel.Count(telemetry.CCrashes, 1)
+		s.tel.Instant(telemetry.CatCrash, act.String(), int32(owner), int64(ndeliv))
+	} else {
+		s.tel.Instant(telemetry.CatIOA, act.Name, int32(owner), int64(ndeliv))
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"fmt"
 
 	"repro/internal/ioa"
+	"repro/internal/telemetry"
 )
 
 // DefaultStride is the minimum default event interval between full
@@ -64,6 +65,11 @@ type Options struct {
 	// MaxErrs bounds recorded divergences (0 = 8).  Checking continues past
 	// the bound; recording stops.
 	MaxErrs int
+	// Telemetry, when non-nil, counts sweeps (COracleSweeps), samples their
+	// latency (HOracleSweepNs), and records one oracle-category trace span
+	// per sweep — the window the ISSUE's "oracle slows a grid" diagnosis
+	// needs.  Checking behavior is unchanged.
+	Telemetry telemetry.Sink
 }
 
 // resolveStride fixes the sweep interval for a system with the given task
@@ -132,12 +138,35 @@ func (o *Oracle) Errs() []error { return o.errs }
 // Check runs a full sweep immediately — the end-of-run check that fires
 // regardless of where the event count sits in the stride — and returns Err.
 func (o *Oracle) Check() error {
+	t0 := o.sweepStart()
 	o.sweeps++
 	o.checkReadySet()
 	if o.shadows != nil {
 		o.shadows.compareAll(o)
 	}
+	o.sweepDone(t0, "final-sweep")
 	return o.Err()
+}
+
+// sweepStart stamps the start of a sweep on the telemetry clock (0 when no
+// sink is attached).
+func (o *Oracle) sweepStart() int64 {
+	if o.opts.Telemetry == nil {
+		return 0
+	}
+	return o.opts.Telemetry.Now()
+}
+
+// sweepDone records a completed sweep: the counter, the latency sample, and
+// an oracle-category trace span carrying the event count.
+func (o *Oracle) sweepDone(t0 int64, name string) {
+	tel := o.opts.Telemetry
+	if tel == nil {
+		return
+	}
+	tel.Count(telemetry.COracleSweeps, 1)
+	tel.Observe(telemetry.HOracleSweepNs, tel.Now()-t0)
+	tel.Span(telemetry.CatOracle, name, t0, 0, int64(o.events))
 }
 
 func (o *Oracle) record(err error) {
@@ -154,9 +183,11 @@ func (o *Oracle) observe(owner int, act ioa.Action) {
 		o.shadows.step(o, owner, act)
 	}
 	if o.events%o.stride == 0 {
+		t0 := o.sweepStart()
 		o.sweeps++
 		o.checkReadySet()
 		o.checkDeliverySet(owner, act)
+		o.sweepDone(t0, "sweep")
 	}
 }
 

@@ -50,16 +50,16 @@ func refRandom(sys *ioa.System, rng PRNG, prio Priority, opts Options) {
 				continue
 			}
 			if prio == nil {
-				ready = append(ready, choice{tr, act})
+				ready = append(ready, choice{tr: tr, act: act})
 				continue
 			}
 			p := prio(tr, act)
 			switch {
 			case len(ready) == 0 || p > best:
 				best = p
-				ready = append(ready[:0], choice{tr, act})
+				ready = append(ready[:0], choice{tr: tr, act: act})
 			case p == best:
-				ready = append(ready, choice{tr, act})
+				ready = append(ready, choice{tr: tr, act: act})
 			}
 		}
 		if len(ready) == 0 {

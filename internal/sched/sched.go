@@ -22,6 +22,7 @@ package sched
 
 import (
 	"repro/internal/ioa"
+	"repro/internal/telemetry"
 )
 
 // StopReason says why a run ended.
@@ -79,6 +80,12 @@ type Options struct {
 	// Drive ignores it: a Strategy sees the full enabled set and is its own
 	// adversary.
 	Gate Gate
+	// Telemetry, when non-nil, receives scheduler-level metrics and trace
+	// events: steps fired (CSchedSteps + per-task fires), gate vetoes
+	// (CGateVetoes — enabled actions held back, the §2.4 environment freedom
+	// the gate exercises).  Purely observational: it never changes which
+	// action fires, so schedules with and without a sink are identical.
+	Telemetry telemetry.Sink
 }
 
 func (o Options) maxSteps() int {
@@ -129,6 +136,15 @@ func CrashesAfter(step, gap int) Gate {
 	}
 }
 
+// telemetryStep records one fired scheduler step in tel (which must be
+// non-nil): the step counter, the per-task fire vector keyed by flattened
+// task index, and a sched-category trace instant named after the action.
+func telemetryStep(tel telemetry.Sink, idx int, act ioa.Action) {
+	tel.Count(telemetry.CSchedSteps, 1)
+	tel.IncTask(idx)
+	tel.Instant(telemetry.CatSched, act.Name, int32(idx), int64(act.Loc))
+}
+
 // stalled classifies an idle scan: StopGated when the gate was the only
 // thing holding enabled work back, StopQuiescent otherwise.
 func stalled(sys *ioa.System, gated bool) Result {
@@ -151,10 +167,16 @@ func RoundRobin(sys *ioa.System, opts Options) Result {
 			tr, act := sys.TaskAt(idx), sys.ReadyAction(idx)
 			if opts.Gate != nil && !opts.Gate(sys.Steps(), tr, act) {
 				gated = true
+				if opts.Telemetry != nil {
+					opts.Telemetry.Count(telemetry.CGateVetoes, 1)
+				}
 				continue
 			}
 			sys.Apply(tr.Auto, act)
 			fired = true
+			if opts.Telemetry != nil {
+				telemetryStep(opts.Telemetry, idx, act)
+			}
 			if opts.Stop != nil && opts.Stop(sys, act) {
 				return Result{Steps: sys.Steps(), Reason: StopCondition}
 			}
@@ -169,10 +191,11 @@ func RoundRobin(sys *ioa.System, opts Options) Result {
 	return Result{Steps: sys.Steps(), Reason: StopLimit}
 }
 
-// choice pairs a ready task with its enabled action.
+// choice pairs a ready task with its enabled action and flattened index.
 type choice struct {
 	tr  ioa.TaskRef
 	act ioa.Action
+	idx int
 }
 
 // Random runs sys picking uniformly among enabled (and un-gated) tasks.
@@ -222,19 +245,22 @@ func randomCore(sys *ioa.System, rng PRNG, prio Priority, opts Options) Result {
 			tr, act := sys.TaskAt(idx), sys.ReadyAction(idx)
 			if opts.Gate != nil && !opts.Gate(sys.Steps(), tr, act) {
 				gated = true
+				if opts.Telemetry != nil {
+					opts.Telemetry.Count(telemetry.CGateVetoes, 1)
+				}
 				continue
 			}
 			if prio == nil {
-				ready = append(ready, choice{tr, act})
+				ready = append(ready, choice{tr, act, idx})
 				continue
 			}
 			p := prio(tr, act)
 			switch {
 			case len(ready) == 0 || p > best:
 				best = p
-				ready = append(ready[:0], choice{tr, act})
+				ready = append(ready[:0], choice{tr, act, idx})
 			case p == best:
-				ready = append(ready, choice{tr, act})
+				ready = append(ready, choice{tr, act, idx})
 			}
 		}
 		if len(ready) == 0 {
@@ -242,6 +268,9 @@ func randomCore(sys *ioa.System, rng PRNG, prio Priority, opts Options) Result {
 		}
 		c := ready[rng.Intn(len(ready))]
 		sys.Apply(c.tr.Auto, c.act)
+		if opts.Telemetry != nil {
+			telemetryStep(opts.Telemetry, c.idx, c.act)
+		}
 		if opts.Stop != nil && opts.Stop(sys, c.act) {
 			return Result{Steps: sys.Steps(), Reason: StopCondition}
 		}
@@ -272,11 +301,13 @@ func Drive(sys *ioa.System, s Strategy, opts Options) Result {
 	limit := opts.maxSteps()
 	enabled := make([]ioa.TaskRef, 0, 64)
 	acts := make([]ioa.Action, 0, 64)
+	idxs := make([]int, 0, 64)
 	for sys.Steps() < limit {
-		enabled, acts = enabled[:0], acts[:0]
+		enabled, acts, idxs = enabled[:0], acts[:0], idxs[:0]
 		for idx, ok := sys.NextReady(-1); ok; idx, ok = sys.NextReady(idx) {
 			enabled = append(enabled, sys.TaskAt(idx))
 			acts = append(acts, sys.ReadyAction(idx))
+			idxs = append(idxs, idx)
 		}
 		if len(enabled) == 0 {
 			return Result{Steps: sys.Steps(), Reason: StopQuiescent}
@@ -286,6 +317,9 @@ func Drive(sys *ioa.System, s Strategy, opts Options) Result {
 			return Result{Steps: sys.Steps(), Reason: StopCondition}
 		}
 		sys.Apply(enabled[k].Auto, acts[k])
+		if opts.Telemetry != nil {
+			telemetryStep(opts.Telemetry, idxs[k], acts[k])
+		}
 		if opts.Stop != nil && opts.Stop(sys, acts[k]) {
 			return Result{Steps: sys.Steps(), Reason: StopCondition}
 		}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/ioa"
+	"repro/internal/telemetry"
 )
 
 // Channel is the channel automaton Ci,j of Section 4.3: a reliable FIFO
@@ -27,6 +28,7 @@ import (
 type Channel struct {
 	From, To ioa.Loc
 	queue    ring[string]
+	tel      telemetry.Sink // queue-depth sink, nil when telemetry is off
 }
 
 var _ ioa.Automaton = (*Channel)(nil)
@@ -54,7 +56,19 @@ func (c *Channel) SignatureKeys() []ioa.SigKey {
 }
 
 // Input implements ioa.Automaton: enqueue the message.
-func (c *Channel) Input(a ioa.Action) { c.queue.push(a.Payload) }
+func (c *Channel) Input(a ioa.Action) {
+	c.queue.push(a.Payload)
+	if c.tel != nil {
+		c.tel.Observe(telemetry.HChannelDepth, int64(c.queue.len()))
+	}
+}
+
+// SetTelemetry installs (or, with nil, removes) a sink sampling the queue
+// depth after every enqueue (the in-flight message count of the §4.3 FIFO
+// channel).  Clones never inherit it — Clone constructs a bare Channel —
+// matching ioa.System's observer/telemetry semantics.  Typically installed
+// across a whole composition via InstrumentChannels.
+func (c *Channel) SetTelemetry(tel telemetry.Sink) { c.tel = tel }
 
 // NumTasks implements ioa.Automaton.
 func (c *Channel) NumTasks() int { return 1 }

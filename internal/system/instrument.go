@@ -1,0 +1,36 @@
+package system
+
+import (
+	"repro/internal/ioa"
+	"repro/internal/telemetry"
+)
+
+// InstrumentChannels installs tel as the queue-depth sink on every channel
+// automaton of the composition (Channel and TrackedChannel both qualify via
+// the promoted SetTelemetry) and returns the number instrumented.  Pass nil
+// to detach.  Combined with ioa.System.SetTelemetry and a scheduler
+// Options.Telemetry this wires a full run end to end; chaos.TelemetryHook
+// does all three in one ExecuteInstrumented hook.
+func InstrumentChannels(sys *ioa.System, tel telemetry.Sink) int {
+	n := 0
+	for _, a := range sys.Automata() {
+		if c, ok := a.(interface{ SetTelemetry(telemetry.Sink) }); ok {
+			c.SetTelemetry(tel)
+			n++
+		}
+	}
+	return n
+}
+
+// TaskLabels returns the composition's flattened task labels in task order,
+// for telemetry.Registry.SetTaskLabels — so metric snapshots report
+// actions-fired-per-task by name ("p0/step", "chan[0>1]/deliver") rather
+// than by index.
+func TaskLabels(sys *ioa.System) []string {
+	tasks := sys.Tasks()
+	out := make([]string, len(tasks))
+	for i, tr := range tasks {
+		out[i] = sys.TaskLabel(tr)
+	}
+	return out
+}

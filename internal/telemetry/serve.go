@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// Serve starts the telemetry HTTP endpoint on addr in a background goroutine
+// and returns the bound address (useful with a ":0" addr).  The endpoint
+// serves:
+//
+//	/debug/vars         expvar JSON (includes the "telemetry" snapshot)
+//	/debug/pprof/...    net/http/pprof profiles
+//	/telemetry          the registry Snapshot alone, pretty-printed
+//
+// The listener runs for the life of the process; there is no shutdown hook
+// because the endpoint is strictly read-only diagnostics.
+func Serve(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}
+
+// Init is the shared flag-wiring helper for cmd/* binaries: given the
+// -telemetry.addr and -trace.out flag values, it returns the Sink to thread
+// through the run and a flush function to defer.
+//
+// When both flags are empty, telemetry is disabled: Init returns an untyped
+// nil Sink (so instrumentation sites' `tel != nil` checks stay false — never
+// a typed-nil *Registry wrapped in the interface) and a no-op flush.
+//
+// Otherwise the process Default registry is used: addr != "" starts the HTTP
+// endpoint (logging the bound address to stderr), and traceOut != "" makes
+// flush write the Chrome trace_event JSON there.
+func Init(addr, traceOut string) (Sink, func(), error) {
+	if addr == "" && traceOut == "" {
+		return nil, func() {}, nil
+	}
+	reg := Default()
+	if addr != "" {
+		bound, err := Serve(addr, reg)
+		if err != nil {
+			return nil, func() {}, err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving expvar/pprof on http://%s/debug/vars\n", bound)
+	}
+	flush := func() {}
+	if traceOut != "" {
+		flush = func() {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := reg.Trace().WriteChromeTrace(f); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			}
+		}
+	}
+	return reg, flush, nil
+}

@@ -41,7 +41,13 @@ type Artifact struct {
 	Gate    map[string]int `json:"gate,omitempty"`
 	GateLog []GateVeto     `json:"gateLog,omitempty"`
 	Verdict string         `json:"verdict,omitempty"`
-	Trace   T              `json:"-"`
+	// TraceRef, when set, names the Chrome trace_event file recorded
+	// alongside this artifact (a relative path or URL).  The cross-link runs
+	// both ways: the telemetry trace carries the artifact path in its
+	// otherData metadata, and chaos.ReplayInstrumented re-traces the run the
+	// artifact records.  Informational; replay ignores it.
+	TraceRef string `json:"traceRef,omitempty"`
+	Trace    T      `json:"-"`
 }
 
 // artifactWire is Artifact with the trace in jsonEvent form.

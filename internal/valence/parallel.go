@@ -2,10 +2,13 @@ package valence
 
 import (
 	"bytes"
+	"context"
+	rtrace "runtime/trace"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/ioa"
+	"repro/internal/telemetry"
 )
 
 // Parallel frontier exploration.
@@ -73,11 +76,17 @@ type pqueue struct {
 	items    []*pnode
 	inflight int
 	stopped  bool
+	tel      telemetry.Sink // frontier-width gauges, nil when telemetry is off
 }
 
 func (q *pqueue) push(n *pnode) {
 	q.mu.Lock()
 	q.items = append(q.items, n)
+	if q.tel != nil {
+		f := int64(len(q.items))
+		q.tel.SetGauge(telemetry.GValenceFrontier, f)
+		q.tel.GaugeMax(telemetry.GValenceFrontierPeak, f)
+	}
 	q.cond.Signal()
 	q.mu.Unlock()
 }
@@ -95,6 +104,9 @@ func (q *pqueue) pop() (*pnode, bool) {
 			it := q.items[n-1]
 			q.items = q.items[:n-1]
 			q.inflight++
+			if q.tel != nil {
+				q.tel.SetGauge(telemetry.GValenceFrontier, int64(n-1))
+			}
 			return it, true
 		}
 		if q.inflight == 0 {
@@ -151,6 +163,7 @@ func (e *Explorer) exploreParallel(workers int) error {
 		p.shards[i].index = make(map[uint64][]*pnode)
 	}
 	p.queue.cond.L = &p.queue.mu
+	p.queue.tel = e.cfg.Telemetry
 
 	root := e.rootSys.CloneBare()
 	buf := root.AppendEncode(nil)
@@ -159,15 +172,18 @@ func (e *Explorer) exploreParallel(workers int) error {
 	rn := &pnode{enc: sh.arena.put(buf), final: -1, sys: root}
 	sh.index[h] = append(sh.index[h], rn)
 	p.nodes.Store(1)
+	if tel := e.cfg.Telemetry; tel != nil {
+		tel.Count(telemetry.CValenceNodes, 1) // the root; link() counts the rest
+	}
 	p.queue.push(rn)
 
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
-			p.worker()
-		}()
+			p.worker(id)
+		}(i)
 	}
 	wg.Wait()
 	if p.err != nil {
@@ -182,14 +198,29 @@ func (e *Explorer) exploreParallel(workers int) error {
 	return nil
 }
 
-func (p *parExplorer) worker() {
+// worker drains the frontier.  Each worker's lifetime is a runtime/trace
+// region, so a `go test -trace` / pprof capture shows the pool's shape; with
+// a telemetry sink attached it additionally records per-expansion spans on
+// virtual thread id+1 and accumulates busy time for the utilization metric
+// (CWorkerBusyNs / (GValenceWorkers × wall)).
+func (p *parExplorer) worker(id int) {
+	defer rtrace.StartRegion(context.Background(), "valence.worker").End()
+	tel := p.e.cfg.Telemetry
 	var buf []byte
 	for {
 		n, ok := p.queue.pop()
 		if !ok {
 			return
 		}
-		buf = p.expand(n, buf)
+		if tel != nil {
+			t0 := tel.Now()
+			buf = p.expand(n, buf)
+			tel.Count(telemetry.CWorkerBusyNs, tel.Now()-t0)
+			tel.Count(telemetry.CValenceExpansions, 1)
+			tel.Span(telemetry.CatValence, "expand", t0, int32(id+1), int64(len(n.edges)))
+		} else {
+			buf = p.expand(n, buf)
+		}
 		p.queue.finish()
 	}
 }
@@ -246,12 +277,18 @@ func (p *parExplorer) link(from *pnode, l Label, act ioa.Action, child *ioa.Syst
 		sh.index[h] = append(sh.index[h], to)
 		sh.mu.Unlock()
 		p.queue.push(to)
+		if tel := p.e.cfg.Telemetry; tel != nil {
+			tel.Count(telemetry.CValenceNodes, 1)
+		}
 		p.maybeProgress(created)
 	} else {
 		sh.mu.Unlock()
 	}
 	from.edges = append(from.edges, pedge{label: l, act: act, to: to})
 	p.edges.Add(1)
+	if tel := p.e.cfg.Telemetry; tel != nil {
+		tel.Count(telemetry.CValenceEdges, 1)
+	}
 	return buf
 }
 
@@ -326,9 +363,17 @@ func (e *Explorer) renumber(root *pnode, nNodes, nEdges int) {
 // cross-range reads go through atomics, so the solver is race-free.
 
 // runRounds drives per-range sweeps until a full round changes nothing.
-func runRounds(n, workers int, sweep func(lo, hi int) bool) {
+// Each round is one CFixpointRounds count and one valence-category span
+// (named by the caller, arg = round number) when a sink is attached.
+func runRounds(n, workers int, tel telemetry.Sink, name string, sweep func(lo, hi int) bool) {
 	chunk := (n + workers - 1) / workers
+	round := int64(0)
 	for {
+		round++
+		var t0 int64
+		if tel != nil {
+			t0 = tel.Now()
+		}
 		var changed atomic.Bool
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -349,6 +394,10 @@ func runRounds(n, workers int, sweep func(lo, hi int) bool) {
 			}(lo, hi)
 		}
 		wg.Wait()
+		if tel != nil {
+			tel.Count(telemetry.CFixpointRounds, 1)
+			tel.Span(telemetry.CatValence, name, t0, 0, round)
+		}
 		if !changed.Load() {
 			return
 		}
@@ -361,7 +410,7 @@ func (e *Explorer) propagateFutureParallel(r *reverse, workers int) {
 	// Sweep descending: successors typically carry higher IDs, so within a
 	// round most reads already see this round's values and long forward
 	// chains collapse into few rounds.
-	runRounds(n, workers, func(lo, hi int) bool {
+	runRounds(n, workers, e.cfg.Telemetry, "fixpoint-future", func(lo, hi int) bool {
 		changed := false
 		for id := hi - 1; id >= lo; id-- {
 			m := atomic.LoadUint32(&masks[id])
@@ -386,7 +435,7 @@ func (e *Explorer) propagatePastParallel(r *reverse, workers int) {
 	past := make([]uint32, n)
 	// Sweep ascending over the reverse CSR: predecessors typically carry
 	// lower IDs, the mirror argument of the future sweep.
-	runRounds(n, workers, func(lo, hi int) bool {
+	runRounds(n, workers, e.cfg.Telemetry, "fixpoint-past", func(lo, hi int) bool {
 		changed := false
 		for id := lo; id < hi; id++ {
 			m := atomic.LoadUint32(&past[id])

@@ -35,6 +35,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/ioa"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -165,6 +166,12 @@ type Config struct {
 	// ProgressEvery is the node interval between Progress calls
 	// (default 50_000).
 	ProgressEvery int
+	// Telemetry, when non-nil, receives exploration metrics — nodes/edges
+	// created (CValenceNodes/CValenceEdges), expansions, live and peak
+	// frontier width, worker count and busy time, fixpoint rounds — and
+	// valence-category trace spans (per-worker expansions, fixpoint rounds).
+	// Purely observational: explored graphs are identical with or without.
+	Telemetry telemetry.Sink
 }
 
 func (c Config) maxNodes() int {
@@ -314,7 +321,11 @@ func (e *Explorer) Explore() error {
 	// Phase 1: frontier expansion with memoization (parallel workers when
 	// configured; identical final tables either way).
 	var err error
-	if w := e.cfg.workers(); w > 1 {
+	w := e.cfg.workers()
+	if tel := e.cfg.Telemetry; tel != nil {
+		tel.SetGauge(telemetry.GValenceWorkers, int64(w))
+	}
+	if w > 1 {
 		err = e.exploreParallel(w)
 	} else {
 		err = e.exploreSerial()
@@ -325,6 +336,9 @@ func (e *Explorer) Explore() error {
 	e.done = true
 	// Phase 2: forward and backward fixpoints of reachable decision values.
 	e.propagate()
+	if tel := e.cfg.Telemetry; tel != nil {
+		tel.SetGauge(telemetry.GValenceFrontier, 0)
+	}
 	return nil
 }
 
@@ -342,6 +356,12 @@ func (e *Explorer) exploreSerial() error {
 	e.addNodeSerial(st, root, 0, stateHash(st.buf, 0))
 	nextProg := int64(e.cfg.progressEvery())
 	for next := 0; next < len(e.fdIdx); next++ {
+		if tel := e.cfg.Telemetry; tel != nil {
+			tel.Count(telemetry.CValenceExpansions, 1)
+			f := int64(len(e.fdIdx) - next - 1) // pending after this pop
+			tel.SetGauge(telemetry.GValenceFrontier, f)
+			tel.GaugeMax(telemetry.GValenceFrontierPeak, f)
+		}
 		e.estart = append(e.estart, int64(len(e.edges)))
 		sys := st.pend[next]
 		st.pend[next] = nil
@@ -392,6 +412,7 @@ func (e *Explorer) linkSerial(st *serialState, l Label, act ioa.Action, child *i
 	for _, id := range st.index[h] {
 		if int(e.fdIdx[id]) == fd && bytes.Equal(e.nodeEnc(id), st.buf) {
 			e.edges = append(e.edges, Edge{Label: l, Act: act, To: id})
+			e.countEdge()
 			return nil
 		}
 	}
@@ -400,7 +421,14 @@ func (e *Explorer) linkSerial(st *serialState, l Label, act ioa.Action, child *i
 	}
 	to := e.addNodeSerial(st, child, fd, h)
 	e.edges = append(e.edges, Edge{Label: l, Act: act, To: to})
+	e.countEdge()
 	return nil
+}
+
+func (e *Explorer) countEdge() {
+	if tel := e.cfg.Telemetry; tel != nil {
+		tel.Count(telemetry.CValenceEdges, 1)
+	}
 }
 
 // addNodeSerial interns st.buf as a new node's encoding and registers the
@@ -414,6 +442,9 @@ func (e *Explorer) addNodeSerial(st *serialState, sys *ioa.System, fd int, h uin
 	e.arena = append(e.arena, st.buf...)
 	st.pend = append(st.pend, sys)
 	st.index[h] = append(st.index[h], id)
+	if tel := e.cfg.Telemetry; tel != nil {
+		tel.Count(telemetry.CValenceNodes, 1)
+	}
 	return id
 }
 
