@@ -12,19 +12,32 @@
 //
 //	chaos run    -target detector:FD-Ω [-n 3] [-crash 0,2] [-sched random]
 //	             [-seed 1] [-steps 0] [-crash-after 0] [-crash-gap 0]
-//	             [-delay-nth 0] [-delay-for 0] [-out artifact.json]
-//	    Execute one fully specified run and print the verdict.
+//	             [-delay-nth 0] [-delay-for 0] [-topo ring] [-drop 100]
+//	             [-dup 0] [-reorder 0] [-net-seed 1] [-partition-mask 3]
+//	             [-partition-at 0] [-heal-at 0] [-out artifact.json]
+//	    Execute one fully specified run — optionally over an adversarial
+//	    network (restricted topology, lossy links, partition window) —
+//	    and print the verdict.
 //
 //	chaos replay ARTIFACT.json
 //	    Re-execute a recorded run and confirm it reproduces the recorded
 //	    verdict and trace exactly.
+//
+//	chaos survey [-n 4] [-seeds 1] [-steps 0] [-workers 4] [-short]
+//	    Sweep the property-survival grid: scenarios (topologies, loss
+//	    rates, partitions) × message-passing targets, every run under a
+//	    stride-1 differential oracle with its artifact replayed
+//	    bit-for-bit.  Prints the survival table; exits non-zero unless the
+//	    grid is clean and both controls hold.
 //
 // Examples:
 //
 //	chaos sweep
 //	chaos sweep -targets detector:slanderer -out /tmp/artifacts
 //	chaos run -target consensus:FD-Ω -n 5 -crash 1,3 -sched lifo -seed 7
+//	chaos run -target gossip:FD-Q>FD-P -n 4 -crash 1 -topo ring
 //	chaos replay /tmp/artifacts/fail-0.json
+//	chaos survey -short
 package main
 
 import (
@@ -60,8 +73,10 @@ func run(args []string) error {
 		return runOne(args[1:])
 	case "replay":
 		return runReplay(args[1:])
+	case "survey":
+		return runSurvey(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want sweep, run, or replay)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want sweep, run, replay, or survey)", args[0])
 	}
 }
 
@@ -170,6 +185,14 @@ func runOne(args []string) error {
 		crashGap   = fs.Int("crash-gap", 0, "gate: steps between crash releases")
 		delayNth   = fs.Int("delay-nth", 0, "gate: delay every nth delivery")
 		delayFor   = fs.Int("delay-for", 0, "gate: delivery delay in steps")
+		topo       = fs.String("topo", "", "network topology: full, ring, star:H, grid:RxC, cut:L, links:a>b,...")
+		drop       = fs.Int("drop", 0, "per-link drop rate in permille")
+		dup        = fs.Int("dup", 0, "per-link duplication rate in permille")
+		reorder    = fs.Int("reorder", 0, "per-link reorder rate in permille")
+		netSeed    = fs.Int64("net-seed", 1, "seed for link loss decisions")
+		partMask   = fs.Uint64("partition-mask", 0, "gate: partition side-1 location bitmask (0 = none)")
+		partAt     = fs.Int("partition-at", 0, "gate: partition engages at this step")
+		healAt     = fs.Int("heal-at", 0, "gate: partition heals at this step (≤ partition-at: never)")
 		outFile    = fs.String("out", "", "write the run as an artifact to this file")
 		telAddr    = fs.String("telemetry.addr", "", "serve expvar+pprof+metrics on this address")
 		traceOut   = fs.String("trace.out", "", "write a Chrome trace_event JSON file on exit")
@@ -193,6 +216,15 @@ func runOne(args []string) error {
 	gates := chaos.NoGates()
 	gates.CrashAfter, gates.CrashGap = *crashAfter, *crashGap
 	gates.DelayNth, gates.DelayFor = *delayNth, *delayFor
+	gates.PartitionMask, gates.PartitionAt, gates.HealAt = *partMask, *partAt, *healAt
+	topology, err := system.ParseTopology(*n, *topo)
+	if err != nil {
+		return err
+	}
+	net := system.NetSpec{Topo: topology, Drop: *drop, Dup: *dup, Reorder: *reorder}
+	if net.Lossy() {
+		net.Seed = *netSeed
+	}
 	var instrument func(*chaos.Built) func() error
 	if tel != nil {
 		instrument = chaos.TelemetryHook(tel)
@@ -202,6 +234,7 @@ func runOne(args []string) error {
 		N:      *n,
 		Plan:   system.CrashOf(locs...),
 		Gates:  gates,
+		Net:    net,
 		Sched:  *schedKind,
 		Seed:   *seed,
 		Steps:  *steps,
@@ -274,6 +307,41 @@ func runReplay(args []string) error {
 	} else {
 		fmt.Println("run satisfies the specification (as recorded)")
 	}
+	return nil
+}
+
+func runSurvey(args []string) error {
+	fs := flag.NewFlagSet("survey", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 4, "number of locations")
+		seeds   = fs.Int("seeds", 1, "random-scheduler seeds per cell")
+		steps   = fs.Int("steps", 0, "step bound per run (0 = default)")
+		workers = fs.Int("workers", 4, "parallel cells")
+		short   = fs.Bool("short", false, "CI grid: fewer scenarios and targets")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := chaos.SurveyConfig{N: *n, Seeds: *seeds, Steps: *steps, Workers: *workers}
+	if *short {
+		if cfg.Steps <= 0 {
+			cfg.Steps = 1200
+		}
+		cfg.Targets = chaos.SurveyShortTargets()
+		cfg.Scenarios = chaos.SurveyShortScenarios(*n, cfg.Steps)
+	}
+	rep, err := chaos.Survey(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Table())
+	if !rep.Clean() {
+		return fmt.Errorf("survey not clean: an oracle or replay disagreed (see INFRA rows)")
+	}
+	if err := rep.Control(); err != nil {
+		return err
+	}
+	fmt.Println("survey clean: every cell's oracle-instrumented run and artifact replay agree; controls hold")
 	return nil
 }
 

@@ -337,3 +337,124 @@ func TestGoldenTraces(t *testing.T) {
 		})
 	}
 }
+
+// goldenLossyCases pin the adversarial network layer end to end: runs over
+// lossy links and partitions must be bit-for-bit replayable from the spec
+// alone (every drop/dup/reorder decision is a pure function of the net
+// seed and the per-link send index — no decision log is consulted).
+var goldenLossyCases = []struct {
+	name string
+	run  chaos.Run
+}{
+	{"lossy/gossip/random", chaos.Run{
+		Target: chaos.GossipTarget{Source: afd.FamilyQ, Out: afd.FamilyP}, N: 4,
+		Plan: system.CrashOf(1),
+		Gates: chaos.GateSpec{StarveFrom: -1, StarveTo: -1,
+			PartitionMask: 0b0011, PartitionAt: 60, HealAt: 200},
+		Net:   system.NetSpec{Seed: 42, Drop: 150, Dup: 120, Reorder: 120},
+		Sched: chaos.SchedRandom, Seed: 9, Steps: 900,
+	}},
+	{"lossy/relay/lifo", chaos.Run{
+		Target: chaos.GossipTarget{Source: afd.FamilyQ, Out: afd.FamilyP, Forward: true}, N: 3,
+		Plan:  system.CrashOf(2),
+		Gates: chaos.GateSpec{CrashAfter: 25, StarveFrom: -1, StarveTo: -1},
+		Net:   system.NetSpec{Seed: 5, Drop: 100, Dup: 100},
+		Sched: chaos.SchedLIFO, Seed: 3, Steps: 800,
+	}},
+}
+
+// goldenLossy maps lossy case name → pinned trace hash (GOLDEN_PRINT=1 to
+// re-pin after an intentional change).
+var goldenLossy = map[string]string{
+	"lossy/gossip/random": "f0f68fb5b594a89f",
+	"lossy/relay/lifo":    "ef182b4ed3da68ce",
+}
+
+func lossyHash(v chaos.Verdict) string {
+	h := sha256.New()
+	for _, a := range v.Trace {
+		h.Write([]byte(a.String()))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// TestGoldenLossyReplay pins lossy executions and closes the replay loop:
+// the artifact (which records only the net spec, not the decisions) must
+// replay bit-for-bit through the scheduler re-execution AND the cross-engine
+// event-by-event pass, the recorded NetLog must be non-empty, and both a
+// tampered trace and a tampered net seed must be rejected.
+func TestGoldenLossyReplay(t *testing.T) {
+	print := os.Getenv("GOLDEN_PRINT") != ""
+	for _, tc := range goldenLossyCases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, err := chaos.Execute(tc.run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := lossyHash(v)
+			if print {
+				fmt.Printf("GOLDEN\t%q: %q,\n", tc.name, got)
+			} else if want := goldenLossy[tc.name]; got != want {
+				t.Errorf("lossy schedule drift: hash = %s, pinned %s", got, want)
+			}
+			if len(v.NetLog) == 0 {
+				t.Error("lossy run recorded no link events")
+			}
+			a := v.Artifact()
+			if a.Net == nil {
+				t.Fatal("artifact of a lossy run has no net spec")
+			}
+			if _, err := chaos.Replay(a); err != nil {
+				t.Fatalf("replay diverged: %v", err)
+			}
+			if err := chaos.ReplayThroughSystem(a); err != nil {
+				t.Fatalf("cross-engine replay: %v", err)
+			}
+			// Tamper control 1: corrupting one recorded event is caught.
+			bad := *a
+			bad.Trace = append([]ioa.Action(nil), a.Trace...)
+			bad.Trace[len(bad.Trace)/2].Payload += "-tampered"
+			if err := chaos.ReplayThroughSystem(&bad); err == nil {
+				t.Error("tampered trace replayed cleanly through a fresh system")
+			}
+			// Tamper control 2: a different net seed draws different link
+			// decisions, so the recorded trace no longer matches.
+			seed := *a
+			net := *a.Net
+			net.Seed++
+			seed.Net = &net
+			if _, err := chaos.Replay(&seed); err == nil {
+				t.Error("replay accepted an artifact with a tampered net seed")
+			}
+		})
+	}
+}
+
+// TestGoldenLossyTelemetryOn re-executes the lossy pinned cases with the
+// full telemetry plane attached and requires the same trace hash: loss
+// accounting (msgs_dropped, msgs_duplicated, msgs_reordered, the partition
+// life cycle) is strictly read-only and never perturbs the schedule.
+func TestGoldenLossyTelemetryOn(t *testing.T) {
+	if os.Getenv("GOLDEN_PRINT") != "" {
+		t.Skip("pinning pass")
+	}
+	for _, tc := range goldenLossyCases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := telemetry.NewRegistry()
+			v, err := chaos.ExecuteInstrumented(tc.run, chaos.TelemetryHook(reg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := lossyHash(v), goldenLossy[tc.name]; got != want {
+				t.Errorf("telemetry perturbed the lossy schedule: hash = %s, pinned %s", got, want)
+			}
+			if reg.Value(telemetry.CMsgDropped) == 0 {
+				t.Error("msgs_dropped = 0 on a lossy run with telemetry attached")
+			}
+			if reg.Value(telemetry.CMsgDuplicated) == 0 {
+				t.Error("msgs_duplicated = 0 on a dup-configured run")
+			}
+		})
+	}
+}

@@ -21,7 +21,7 @@ func (v Verdict) Artifact() *trace.Artifact {
 	if v.Err != nil {
 		verdict = v.Err.Error()
 	}
-	return &trace.Artifact{
+	a := &trace.Artifact{
 		Target:  v.Run.Target.ID(),
 		N:       v.Run.N,
 		Steps:   v.Run.steps(),
@@ -33,6 +33,17 @@ func (v Verdict) Artifact() *trace.Artifact {
 		Verdict: verdict,
 		Trace:   v.Trace,
 	}
+	if !v.Run.Net.IsZero() {
+		a.Net = &trace.NetWire{
+			Topo:    v.Run.Net.Topo.Desc(),
+			Seed:    v.Run.Net.Seed,
+			Drop:    v.Run.Net.Drop,
+			Dup:     v.Run.Net.Dup,
+			Reorder: v.Run.Net.Reorder,
+		}
+		a.NetLog = v.NetLog
+	}
+	return a
 }
 
 // RunFromArtifact reconstructs the run an artifact records.
@@ -41,7 +52,7 @@ func RunFromArtifact(a *trace.Artifact) (Run, error) {
 	if err != nil {
 		return Run{}, err
 	}
-	return Run{
+	r := Run{
 		Target: target,
 		N:      a.N,
 		Plan:   system.CrashOf(a.Crash...),
@@ -49,7 +60,21 @@ func RunFromArtifact(a *trace.Artifact) (Run, error) {
 		Sched:  a.Sched,
 		Seed:   a.Seed,
 		Steps:  a.Steps,
-	}, nil
+	}
+	if a.Net != nil {
+		topo, err := system.ParseTopology(a.N, a.Net.Topo)
+		if err != nil {
+			return Run{}, err
+		}
+		r.Net = system.NetSpec{
+			Topo:    topo,
+			Seed:    a.Net.Seed,
+			Drop:    a.Net.Drop,
+			Dup:     a.Net.Dup,
+			Reorder: a.Net.Reorder,
+		}
+	}
+	return r, nil
 }
 
 // Replay re-executes the run an artifact records and reports whether the
@@ -110,11 +135,17 @@ func ReplayThroughSystem(a *trace.Artifact) error {
 	if len(a.Trace) == 0 {
 		return nil
 	}
-	target, err := ParseTarget(a.Target)
+	r, err := RunFromArtifact(a)
 	if err != nil {
 		return err
 	}
-	b, err := target.Build(a.N, system.CrashOf(a.Crash...), a.Sched == SchedLIFO)
+	// A fresh per-run Net re-derives the recorded link decisions from the
+	// spec — the cross-engine pass replays lossy runs without the log.
+	var nt *system.Net
+	if !r.Net.IsZero() {
+		nt = system.NewNet(r.Net)
+	}
+	b, err := r.Target.Build(a.N, r.Plan, nt, a.Sched == SchedLIFO)
 	if err != nil {
 		return err
 	}

@@ -86,9 +86,11 @@ type Target interface {
 	// MaxT is the largest crash count the specification tolerates for n
 	// locations (the plan generator never exceeds it).
 	MaxT(n int) int
-	// Build composes a fresh system realizing the fault plan.  lifo asks
-	// for send-stamp tracking so SchedLIFO can prioritize by recency.
-	Build(n int, plan system.FaultPlan, lifo bool) (*Built, error)
+	// Build composes a fresh system realizing the fault plan over the
+	// adversarial network nt (nil: the reliable full mesh; targets without
+	// channels ignore it).  lifo asks for send-stamp tracking so SchedLIFO
+	// can prioritize by recency.
+	Build(n int, plan system.FaultPlan, nt *system.Net, lifo bool) (*Built, error)
 	// Checker returns the uniform verdict function for a completed run;
 	// fair selects whether liveness clauses are enforced.
 	Checker(n int, plan system.FaultPlan, fair bool) func(trace.T) error
@@ -101,9 +103,14 @@ type Run struct {
 	N      int
 	Plan   system.FaultPlan
 	Gates  GateSpec
-	Sched  string // SchedRoundRobin (default), SchedRandom, SchedLIFO
-	Seed   int64
-	Steps  int // 0 = DefaultSteps(N)
+	// Net is the adversarial network the run executes over; the zero value
+	// is the reliable full mesh the paper assumes.  Link decisions are a
+	// pure function of (Net.Seed, link, send index), so the spec alone —
+	// not a decision log — makes lossy runs replayable.
+	Net   system.NetSpec
+	Sched string // SchedRoundRobin (default), SchedRandom, SchedLIFO
+	Seed  int64
+	Steps int // 0 = DefaultSteps(N)
 }
 
 // DefaultSteps is the default step bound for n locations: generous enough
@@ -125,6 +132,9 @@ type Verdict struct {
 	Err     error // non-nil: the trace violates the target's specification
 	Trace   trace.T
 	GateLog []trace.GateVeto
+	// NetLog is the bounded log of non-deliver link decisions the run's
+	// adversarial network made (empty for reliable runs).
+	NetLog []trace.LinkEvent
 }
 
 // Failed reports whether the run violated its specification.
@@ -159,7 +169,11 @@ func TelemetryHook(tel telemetry.Sink) func(*Built) func() error {
 
 func ExecuteInstrumented(r Run, instrument func(*Built) func() error) (Verdict, error) {
 	lifo := r.Sched == SchedLIFO
-	b, err := r.Target.Build(r.N, r.Plan, lifo)
+	var nt *system.Net
+	if !r.Net.IsZero() {
+		nt = system.NewNet(r.Net)
+	}
+	b, err := r.Target.Build(r.N, r.Plan, nt, lifo)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("chaos: building %s: %w", r.Target.ID(), err)
 	}
@@ -171,7 +185,7 @@ func ExecuteInstrumented(r Run, instrument func(*Built) func() error) (Verdict, 
 	opts := sched.Options{
 		MaxSteps:  r.steps(),
 		Stop:      b.Stop,
-		Gate:      r.Gates.Compile(&log),
+		Gate:      r.Gates.Compile(&log, b.Tel),
 		Telemetry: b.Tel,
 	}
 	var res sched.Result
@@ -190,18 +204,26 @@ func ExecuteInstrumented(r Run, instrument func(*Built) func() error) (Verdict, 
 		return Verdict{}, fmt.Errorf("chaos: unknown scheduler %q", r.Sched)
 	}
 	t := b.Sys.Trace()
-	verdictErr := r.Target.Checker(r.N, r.Plan, Fair(r.Sched))(t)
+	// A never-healing partition starves cross-side deliveries forever, so
+	// even a fair scheduler's run is not a fair-execution prefix; downgrade
+	// to safety-only checking, mirroring the SchedLIFO split.
+	fair := Fair(r.Sched) && r.Gates.EventuallyFair()
+	verdictErr := r.Target.Checker(r.N, r.Plan, fair)(t)
 	if check != nil {
 		if ierr := check(); ierr != nil {
 			verdictErr = ierr
 		}
 	}
-	return Verdict{
+	v := Verdict{
 		Run:     r,
 		Steps:   res.Steps,
 		Reason:  res.Reason,
 		Err:     verdictErr,
 		Trace:   t,
 		GateLog: log,
-	}, nil
+	}
+	if nt != nil {
+		v.NetLog = nt.Events()
+	}
+	return v, nil
 }

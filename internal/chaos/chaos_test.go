@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/ioa"
 	"repro/internal/sched"
+	"repro/internal/system"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -99,6 +101,17 @@ func TestSampleGatesBounds(t *testing.T) {
 		if g.starves() && (g.StarveFrom == g.StarveTo || g.StarveFrom >= n || g.StarveTo >= n) {
 			t.Fatalf("malformed starvation channel: %+v", g)
 		}
+		if g.partitions() {
+			if g.PartitionMask >= 1<<uint(n)-1 {
+				t.Fatalf("partition mask not a proper subset: %+v", g)
+			}
+			if !g.EventuallyFair() {
+				t.Fatalf("sweep sampled a never-healing partition: %+v", g)
+			}
+			if g.PartitionAt > steps/4 || g.HealAt > g.PartitionAt+steps/4+1 {
+				t.Fatalf("partition window out of bounds: %+v", g)
+			}
+		}
 	}
 }
 
@@ -114,6 +127,11 @@ func TestGateSpecParamsRoundTrip(t *testing.T) {
 		{StarveFrom: 0, StarveTo: 2, StarveUntil: 40},
 		{CrashAfter: 1, CrashGap: 1, DelayNth: 1, DelayFor: 1,
 			StarveFrom: 1, StarveTo: 0, StarveUntil: 9},
+		{StarveFrom: -1, StarveTo: -1, PartitionMask: 0b0110, PartitionAt: 10, HealAt: 40},
+		// Never-healing partition: HealAt ≤ PartitionAt must survive the trip.
+		{StarveFrom: -1, StarveTo: -1, PartitionMask: 1, PartitionAt: 25},
+		{CrashAfter: 5, DelayNth: 2, DelayFor: 3, StarveFrom: 0, StarveTo: 2, StarveUntil: 11,
+			PartitionMask: 0b1010, PartitionAt: 1, HealAt: 2},
 	}
 	for _, g := range specs {
 		if got := GatesFromParams(g.Params()); got != g {
@@ -138,7 +156,7 @@ func TestCompiledDelayGate(t *testing.T) {
 	g := NoGates()
 	g.DelayNth, g.DelayFor = 2, 5
 	var log []trace.GateVeto
-	gate := g.Compile(&log)
+	gate := g.Compile(&log, nil)
 
 	recv := func(i int) ioa.Action {
 		return ioa.Action{Kind: ioa.KindReceive, Name: "receive", Loc: ioa.Loc(i), Peer: 0}
@@ -168,7 +186,7 @@ func TestCompiledDelayGate(t *testing.T) {
 func TestCompiledStarvationGate(t *testing.T) {
 	g := NoGates()
 	g.StarveFrom, g.StarveTo, g.StarveUntil = 0, 1, 50
-	gate := g.Compile(nil)
+	gate := g.Compile(nil, nil)
 
 	starved := ioa.Action{Kind: ioa.KindReceive, Name: "receive", Loc: 1, Peer: 0}
 	other := ioa.Action{Kind: ioa.KindReceive, Name: "receive", Loc: 0, Peer: 1}
@@ -280,5 +298,160 @@ func TestShrinkIdentityOnPass(t *testing.T) {
 	}
 	if min, tries := Shrink(v); tries != 0 || min.Failed() {
 		t.Errorf("Shrink spent %d tries on a passing run", tries)
+	}
+}
+
+// TestCompiledPartitionGate exercises the compiled partition gate: cross-side
+// deliveries are vetoed (and logged) exactly inside the window, and the
+// telemetry observer flips GPartitionActive and samples the healed duration
+// into HPartitionSteps without ever vetoing anything itself.
+func TestCompiledPartitionGate(t *testing.T) {
+	g := NoGates()
+	g.PartitionMask, g.PartitionAt, g.HealAt = 0b01, 5, 12
+	reg := telemetry.NewRegistry()
+	var log []trace.GateVeto
+	gate := g.Compile(&log, reg)
+
+	cross := ioa.Action{Kind: ioa.KindReceive, Name: ioa.NameReceive, Loc: 1, Peer: 0}
+	crash := ioa.Action{Kind: ioa.KindCrash, Name: ioa.NameCrash, Loc: 0}
+	if !gate(4, ioa.TaskRef{}, cross) {
+		t.Fatal("cross-side delivery vetoed before PartitionAt")
+	}
+	if gate(5, ioa.TaskRef{}, cross) {
+		t.Fatal("cross-side delivery admitted inside the partition window")
+	}
+	// A non-delivery consult inside the window reaches the observer (the
+	// conjunction short-circuits on the vetoed delivery above).
+	if !gate(6, ioa.TaskRef{}, crash) {
+		t.Fatal("partition gate vetoed a crash")
+	}
+	if got := reg.Value(telemetry.GPartitionActive); got != 1 {
+		t.Errorf("partition_active = %d inside the window, want 1", got)
+	}
+	if gate(11, ioa.TaskRef{}, cross) {
+		t.Fatal("cross-side delivery admitted at the last partitioned step")
+	}
+	if !gate(12, ioa.TaskRef{}, cross) {
+		t.Fatal("cross-side delivery vetoed after HealAt")
+	}
+	if got := reg.Value(telemetry.GPartitionActive); got != 0 {
+		t.Errorf("partition_active = %d after heal, want 0", got)
+	}
+	h := reg.Hist(telemetry.HPartitionSteps)
+	if h.Count() != 1 || h.Sum() != int64(g.HealAt-g.PartitionAt) {
+		t.Errorf("partition_steps histogram: count %d sum %d, want 1 observation of %d",
+			h.Count(), h.Sum(), g.HealAt-g.PartitionAt)
+	}
+	if len(log) != 2 {
+		t.Errorf("veto log recorded %d refusals, want 2", len(log))
+	}
+}
+
+// TestShrinkKeepsPartitionClause: a failure that genuinely needs the
+// partition — the heal lands so late that the isolated location cannot learn
+// the crash set in the remaining budget — must keep its partition clause
+// through shrinking.  Without the preservation guard, zeroing the gate spec
+// would "simplify" the reproducer into a passing run.
+func TestShrinkKeepsPartitionClause(t *testing.T) {
+	r := Run{
+		Target: GossipTarget{Source: "FD-Q", Out: "FD-P"}, N: 3,
+		Plan: system.CrashOf(1),
+		Gates: GateSpec{StarveFrom: -1, StarveTo: -1,
+			PartitionMask: 0b100, PartitionAt: 1, HealAt: 598},
+		Sched: SchedRoundRobin, Steps: 600,
+	}
+	v, err := Execute(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Failed() {
+		t.Fatal("late-healing partition should defeat strong completeness")
+	}
+	clause := errClause(v.Err)
+	if !strings.Contains(clause, "completeness") {
+		t.Fatalf("unexpected clause %q", clause)
+	}
+	min, _ := Shrink(v)
+	if !min.Failed() || errClause(min.Err) != clause {
+		t.Fatalf("shrink swapped the clause: %v", min.Err)
+	}
+	if min.Run.Gates.PartitionMask == 0 {
+		t.Error("shrink silently dropped the partition clause the failure needs")
+	}
+	// The control: without the partition the same run passes, so the
+	// shrinker's candidates genuinely tried and rejected dropping it.
+	ctl := r
+	ctl.Gates = NoGates()
+	w, err := Execute(ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Failed() {
+		t.Fatalf("un-partitioned control failed: %v", w.Err)
+	}
+}
+
+// TestGateCompositionDeterministic composes every adversary plane at once —
+// lossy links (drop, dup, reorder), delivery delay, crash release, and a
+// healing partition — under each scheduler, and requires bit-identical
+// re-execution plus a clean artifact replay through both engines.
+func TestGateCompositionDeterministic(t *testing.T) {
+	for _, kind := range Schedulers() {
+		r := Run{
+			Target: GossipTarget{Source: "FD-Q", Out: "FD-P", Forward: true}, N: 4,
+			Plan: system.CrashOf(2),
+			Gates: GateSpec{CrashAfter: 30, CrashGap: 10,
+				DelayNth: 3, DelayFor: 9, StarveFrom: -1, StarveTo: -1,
+				PartitionMask: 0b0011, PartitionAt: 50, HealAt: 160},
+			Net:   system.NetSpec{Seed: 7, Drop: 100, Dup: 100, Reorder: 100},
+			Sched: kind, Seed: 13, Steps: 700,
+		}
+		a, err := Execute(r)
+		if err != nil {
+			t.Fatalf("%s: Execute: %v", kind, err)
+		}
+		b, err := Execute(r)
+		if err != nil {
+			t.Fatalf("%s: re-Execute: %v", kind, err)
+		}
+		if !trace.Equal(a.Trace, b.Trace) {
+			t.Errorf("%s: composed-adversary traces differ (%d vs %d events)",
+				kind, len(a.Trace), len(b.Trace))
+		}
+		if _, err := Replay(a.Artifact()); err != nil {
+			t.Errorf("%s: artifact replay: %v", kind, err)
+		}
+	}
+}
+
+// TestStopGatedVsStopQuiescent distinguishes the two ways a fully
+// partitioned network ends a quiescing run: a permanent partition *gate*
+// leaves cross-side deliveries enabled-but-vetoed (StopGated), while a cut
+// *topology* makes the same sends vanish so nothing is ever enabled
+// (StopQuiescent).  Same reachability, opposite stall diagnosis.
+func TestStopGatedVsStopQuiescent(t *testing.T) {
+	gated := Run{
+		Target: URBTarget{}, N: 3,
+		Gates: GateSpec{StarveFrom: -1, StarveTo: -1, PartitionMask: 0b001},
+		Sched: SchedRoundRobin, Steps: 50_000,
+	}
+	v, err := Execute(gated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Reason != sched.StopGated {
+		t.Errorf("permanent partition gate: stop reason %q, want %q", v.Reason, sched.StopGated)
+	}
+	quiet := Run{
+		Target: URBTarget{}, N: 3,
+		Net:   system.NetSpec{Topo: system.CutTopology(3, 0)},
+		Sched: SchedRoundRobin, Steps: 50_000,
+	}
+	w, err := Execute(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Reason != sched.StopQuiescent {
+		t.Errorf("cut topology: stop reason %q, want %q", w.Reason, sched.StopQuiescent)
 	}
 }

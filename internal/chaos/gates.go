@@ -3,6 +3,7 @@ package chaos
 import (
 	"repro/internal/ioa"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -14,11 +15,14 @@ const MaxGateLog = 256
 // integers, so a (plan, gates, seed, scheduler) tuple fully determines the
 // execution and round-trips through a trace.Artifact.
 //
-// Every perturbation is delay-only and bounded for non-crash actions, so a
-// gated run is still a prefix of a fair execution: delivery delays release
-// after DelayFor steps, the starved channel resumes at StarveUntil, and
-// only crash actions — which §4.4 lets a scheduler delay arbitrarily — may
-// be held past the end of the run.
+// Every perturbation except a never-healing partition is delay-only and
+// bounded for non-crash actions, so a gated run is still a prefix of a fair
+// execution: delivery delays release after DelayFor steps, the starved
+// channel resumes at StarveUntil, a healing partition releases at HealAt,
+// and only crash actions — which §4.4 lets a scheduler delay arbitrarily —
+// may be held past the end of the run.  A never-healing partition is the
+// deliberate exception; EventuallyFair flags it so runs under it are
+// checked against safety clauses only.
 type GateSpec struct {
 	// CrashAfter blocks every crash until the step counter reaches it;
 	// CrashGap spaces subsequent releases (sched.CrashesAfter semantics;
@@ -35,6 +39,15 @@ type GateSpec struct {
 	StarveFrom  int
 	StarveTo    int
 	StarveUntil int
+	// PartitionMask splits the locations into two sides (bit l set =
+	// location l on side 1); cross-side deliveries are vetoed from step
+	// PartitionAt until step HealAt (sched.Partition semantics: HealAt ≤
+	// PartitionAt never heals).  A zero mask disables partitioning.  A
+	// never-healing partition makes the run unfair — EventuallyFair
+	// reports it, and the runner downgrades to safety-only checking.
+	PartitionAt   int
+	HealAt        int
+	PartitionMask uint64
 }
 
 // NoGates is the identity GateSpec.
@@ -43,22 +56,36 @@ func NoGates() GateSpec { return GateSpec{StarveFrom: -1, StarveTo: -1} }
 // IsZero reports whether the spec perturbs nothing.
 func (g GateSpec) IsZero() bool {
 	return g.CrashAfter == 0 && g.CrashGap == 0 &&
-		(g.DelayNth <= 0 || g.DelayFor <= 0) && !g.starves()
+		(g.DelayNth <= 0 || g.DelayFor <= 0) && !g.starves() && !g.partitions()
 }
 
 func (g GateSpec) starves() bool {
 	return g.StarveUntil > 0 && g.StarveFrom >= 0 && g.StarveTo >= 0 && g.StarveFrom != g.StarveTo
 }
 
+func (g GateSpec) partitions() bool { return g.PartitionMask != 0 }
+
+// EventuallyFair reports whether every perturbation of the spec releases,
+// so a gated run under a fair scheduler is still a prefix of a fair
+// execution.  Only a never-healing partition (HealAt ≤ PartitionAt with a
+// non-zero mask) breaks this: it vetoes cross-side deliveries forever, so
+// liveness clauses must not be enforced on the run.
+func (g GateSpec) EventuallyFair() bool {
+	return !g.partitions() || g.HealAt > g.PartitionAt
+}
+
 // Artifact gate-parameter keys.
 const (
-	keyCrashAfter  = "crashAfter"
-	keyCrashGap    = "crashGap"
-	keyDelayNth    = "delayNth"
-	keyDelayFor    = "delayFor"
-	keyStarveFrom  = "starveFrom"
-	keyStarveTo    = "starveTo"
-	keyStarveUntil = "starveUntil"
+	keyCrashAfter    = "crashAfter"
+	keyCrashGap      = "crashGap"
+	keyDelayNth      = "delayNth"
+	keyDelayFor      = "delayFor"
+	keyStarveFrom    = "starveFrom"
+	keyStarveTo      = "starveTo"
+	keyStarveUntil   = "starveUntil"
+	keyPartitionAt   = "partitionAt"
+	keyHealAt        = "healAt"
+	keyPartitionMask = "partitionMask"
 )
 
 // Params encodes the spec for the artifact schema; zero/disabled fields are
@@ -79,6 +106,11 @@ func (g GateSpec) Params() map[string]int {
 		m[keyStarveFrom] = g.StarveFrom
 		m[keyStarveTo] = g.StarveTo
 		m[keyStarveUntil] = g.StarveUntil
+	}
+	if g.partitions() {
+		m[keyPartitionAt] = g.PartitionAt
+		m[keyHealAt] = g.HealAt
+		m[keyPartitionMask] = int(g.PartitionMask)
 	}
 	if len(m) == 0 {
 		return nil
@@ -101,6 +133,11 @@ func GatesFromParams(m map[string]int) GateSpec {
 		g.StarveTo = m[keyStarveTo]
 		g.StarveUntil = m[keyStarveUntil]
 	}
+	if _, ok := m[keyPartitionMask]; ok {
+		g.PartitionAt = m[keyPartitionAt]
+		g.HealAt = m[keyHealAt]
+		g.PartitionMask = uint64(m[keyPartitionMask])
+	}
 	return g
 }
 
@@ -108,7 +145,12 @@ func GatesFromParams(m map[string]int) GateSpec {
 // veto (up to MaxGateLog) to *log when log is non-nil.  A nil return means
 // no gating at all.  Gates must be compiled once per run: the crash-release
 // counter and delivery-delay table are per-execution state.
-func (g GateSpec) Compile(log *[]trace.GateVeto) sched.Gate {
+//
+// tel, when non-nil, receives the partition life cycle: GPartitionActive
+// flips to 1 when the partition engages and back to 0 at heal, when the
+// healed duration is also sampled into HPartitionSteps.  The observer gate
+// always admits, so telemetry never changes the schedule.
+func (g GateSpec) Compile(log *[]trace.GateVeto, tel telemetry.Sink) sched.Gate {
 	var gates []sched.Gate
 	if g.CrashAfter > 0 || g.CrashGap > 0 {
 		gates = append(gates, sched.CrashesAfter(g.CrashAfter, g.CrashGap))
@@ -140,6 +182,24 @@ func (g GateSpec) Compile(log *[]trace.GateVeto) sched.Gate {
 			}
 			return true
 		})
+	}
+	if g.partitions() {
+		gates = append(gates, sched.Partition(g.PartitionMask, g.PartitionAt, g.HealAt))
+		if tel != nil {
+			active := false
+			gates = append(gates, func(now int, _ ioa.TaskRef, _ ioa.Action) bool {
+				switch {
+				case !active && now >= g.PartitionAt && (g.HealAt <= g.PartitionAt || now < g.HealAt):
+					active = true
+					tel.SetGauge(telemetry.GPartitionActive, 1)
+				case active && g.HealAt > g.PartitionAt && now >= g.HealAt:
+					active = false
+					tel.SetGauge(telemetry.GPartitionActive, 0)
+					tel.Observe(telemetry.HPartitionSteps, int64(g.HealAt-g.PartitionAt))
+				}
+				return true
+			})
+		}
 	}
 	if len(gates) == 0 {
 		return nil

@@ -51,5 +51,15 @@ func SampleGates(rng sched.PRNG, n, steps int) GateSpec {
 		g.StarveTo = (g.StarveFrom + 1 + rng.Intn(n-1)) % n
 		g.StarveUntil = 1 + rng.Intn(max(1, steps/4))
 	}
+	if n >= 2 && n <= 63 && rng.Intn(4) == 0 {
+		// A healing partition: the mask is a uniform proper non-empty
+		// subset of the locations, and the heal lands by steps/2 so fair
+		// runs keep a full post-heal budget for liveness clauses (a
+		// never-healing partition is survey territory, not sweep noise —
+		// it downgrades the checker to safety-only).
+		g.PartitionMask = uint64(1 + rng.Intn((1<<uint(n))-2))
+		g.PartitionAt = rng.Intn(max(1, steps/4))
+		g.HealAt = g.PartitionAt + 1 + rng.Intn(max(1, steps/4))
+	}
 	return g
 }

@@ -1,6 +1,10 @@
 package chaos
 
-import "strings"
+import (
+	"strings"
+
+	"repro/internal/system"
+)
 
 // errClause extracts the stable identity of a checker error: the trailing
 // parenthesized clause name every specification checker in this repository
@@ -24,7 +28,9 @@ func errClause(err error) string {
 //  1. simplify the scheduler (lifo/random → round-robin),
 //  2. drop planned crash events one at a time,
 //  3. zero the gate spec wholesale, then individual perturbations,
-//  4. bisect the step bound down to the smallest failing budget.
+//  4. simplify the adversarial network (reliable mesh, loss-free, full
+//     topology) while keeping whatever the failure genuinely needs,
+//  5. bisect the step bound down to the smallest failing budget.
 //
 // Every candidate is re-executed with Execute and adopted only when it
 // still violates the same specification clause, so the result is a genuine
@@ -89,10 +95,11 @@ func ShrinkWith(v Verdict, exec func(Run) (Verdict, error)) (min Verdict, tries 
 				continue
 			}
 			g := cur.Run.Gates
-			candidates := []GateSpec{g, g, g}
+			candidates := []GateSpec{g, g, g, g}
 			candidates[0].CrashAfter, candidates[0].CrashGap = 0, 0
 			candidates[1].DelayNth, candidates[1].DelayFor = 0, 0
 			candidates[2].StarveFrom, candidates[2].StarveTo, candidates[2].StarveUntil = -1, -1, 0
+			candidates[3].PartitionAt, candidates[3].HealAt, candidates[3].PartitionMask = 0, 0, 0
 			for _, cand := range candidates {
 				if cand == cur.Run.Gates {
 					continue
@@ -108,9 +115,38 @@ func ShrinkWith(v Verdict, exec func(Run) (Verdict, error)) (min Verdict, tries 
 				continue
 			}
 		}
+
+		// 4. Simplify the network: reliable full mesh first, then loss-free
+		// on the same topology, then full topology with the same loss.
+		// Candidate identity uses NetSpec.Equal — the spec holds a
+		// topology slice, so == does not apply.  A failure that needs the
+		// partition gate or the lossy links keeps them: a candidate is
+		// adopted only when the same clause still fires.
+		if !cur.Run.Net.IsZero() {
+			cands := []system.NetSpec{
+				{},
+				{Topo: cur.Run.Net.Topo},
+				{Seed: cur.Run.Net.Seed, Drop: cur.Run.Net.Drop,
+					Dup: cur.Run.Net.Dup, Reorder: cur.Run.Net.Reorder},
+			}
+			for _, cand := range cands {
+				if cand.Equal(cur.Run.Net) {
+					continue
+				}
+				r := cur.Run
+				r.Net = cand
+				if attempt(r) {
+					changed = true
+					break
+				}
+			}
+			if changed {
+				continue
+			}
+		}
 	}
 
-	// 4. Bisect the step bound: find the smallest budget that still fails.
+	// 5. Bisect the step bound: find the smallest budget that still fails.
 	// Failure need not be monotone in steps (a longer run can stabilize),
 	// so bisect against the last known-failing bound and keep cur pinned to
 	// an actually failing execution.

@@ -1,0 +1,37 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSurveyShortGrid runs the CI-sized survey grid end to end: every cell
+// executes under a stride-1 differential oracle with channel shadows, every
+// artifact replays bit-for-bit, the reliable baseline survives everywhere
+// (negative control), and heavy loss costs plain gossip its completeness
+// (positive control).
+func TestSurveyShortGrid(t *testing.T) {
+	steps := 1200
+	rep, err := Survey(SurveyConfig{
+		Steps:     steps,
+		Targets:   SurveyShortTargets(),
+		Scenarios: SurveyShortScenarios(4, steps),
+	})
+	if err != nil {
+		t.Fatalf("Survey: %v", err)
+	}
+	if !rep.Clean() {
+		t.Errorf("survey not clean:\n%s", rep.Table())
+	}
+	if err := rep.Control(); err != nil {
+		t.Errorf("control: %v\n%s", err, rep.Table())
+	}
+	if got := len(rep.Cells); got != len(SurveyShortTargets())*len(SurveyShortScenarios(4, steps)) {
+		t.Errorf("cell count = %d", got)
+	}
+	tbl := rep.Table()
+	if !strings.Contains(tbl, "baseline") || !strings.Contains(tbl, "gossip:FD-Q>FD-P") {
+		t.Errorf("table missing expected rows:\n%s", tbl)
+	}
+	t.Logf("\n%s", tbl)
+}

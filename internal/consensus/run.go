@@ -62,6 +62,10 @@ type BuildSpec struct {
 	// adversarial schedulers (sched.RandomPriority with a newest-first
 	// priority).  Delivery semantics are unchanged.
 	Clock *system.SendClock
+	// Net, when non-nil, restricts the mesh to its topology and applies
+	// its per-link loss decisions (system.NetChannels); nil keeps the
+	// paper's reliable full mesh.
+	Net *system.Net
 }
 
 // Build composes the system.
@@ -81,9 +85,9 @@ func Build(spec BuildSpec) (*ioa.System, error) {
 	}
 	autos := procs
 	if spec.Clock != nil {
-		autos = append(autos, system.TrackedChannels(spec.N, spec.Clock)...)
+		autos = append(autos, system.NetTrackedChannels(spec.N, spec.Clock, spec.Net)...)
 	} else {
-		autos = append(autos, system.Channels(spec.N)...)
+		autos = append(autos, system.NetChannels(spec.N, spec.Net)...)
 	}
 	if spec.Values != nil {
 		if len(spec.Values) != spec.N {

@@ -19,6 +19,14 @@ type chanShadow struct {
 	tc     *system.TrackedChannel // nil for plain channels
 	queue  []string
 	stamps []uint64 // tracked channels only, parallel to queue
+	// hasNet/spec/seq re-derive adversarial link decisions independently:
+	// the spec is copied at attach and seq advances on each observed send,
+	// deliberately never reading the channel's own counter again — a
+	// channel that miscounts sends (and therefore draws wrong decisions)
+	// diverges from the shadow instead of dragging it along.
+	hasNet bool
+	spec   system.NetSpec
+	seq    uint64
 }
 
 type locPair struct{ from, to ioa.Loc }
@@ -61,6 +69,11 @@ func newShadowSet(sys *ioa.System) *shadowSet {
 		default:
 			continue
 		}
+		if nt := sh.ch.Network(); nt != nil {
+			sh.hasNet = true
+			sh.spec = nt.Spec
+			sh.seq = sh.ch.Sent()
+		}
 		s.all = append(s.all, sh)
 		s.byPair[locPair{sh.ch.From, sh.ch.To}] = sh
 		s.byAuto[ai] = sh
@@ -84,11 +97,38 @@ func (s *shadowSet) step(o *Oracle, owner int, act ioa.Action) {
 		if sh == nil {
 			return
 		}
-		sh.queue = append(sh.queue, act.Payload)
+		out := system.OutDeliver
+		if sh.hasNet {
+			out = sh.spec.Outcome(sh.ch.From, sh.ch.To, sh.seq)
+			sh.seq++
+		}
+		var stamp uint64
 		if sh.tc != nil {
+			// The clock ticks on every send, even a dropped one (the
+			// channel's convention: a dropped message consumes its stamp).
 			ctr := s.clocks[sh.tc.Clock()]
 			*ctr++
-			sh.stamps = append(sh.stamps, *ctr)
+			stamp = *ctr
+		}
+		switch out {
+		case system.OutDrop:
+		case system.OutDup:
+			sh.queue = append(sh.queue, act.Payload, act.Payload)
+			if sh.tc != nil {
+				sh.stamps = append(sh.stamps, stamp, stamp)
+			}
+		case system.OutReorder:
+			sh.queue = append(sh.queue, act.Payload)
+			swapTail(sh.queue)
+			if sh.tc != nil {
+				sh.stamps = append(sh.stamps, stamp)
+				swapTail(sh.stamps)
+			}
+		default:
+			sh.queue = append(sh.queue, act.Payload)
+			if sh.tc != nil {
+				sh.stamps = append(sh.stamps, stamp)
+			}
 		}
 		sh.compare(o)
 	case ioa.KindReceive:
@@ -139,6 +179,14 @@ func (sh *chanShadow) compare(o *Oracle) {
 func (s *shadowSet) compareAll(o *Oracle) {
 	for _, sh := range s.all {
 		sh.compare(o)
+	}
+}
+
+// swapTail mirrors the lossy link's reorder on a shadow queue: the last two
+// elements swap (no-op below length 2).
+func swapTail[T any](q []T) {
+	if len(q) >= 2 {
+		q[len(q)-1], q[len(q)-2] = q[len(q)-2], q[len(q)-1]
 	}
 }
 

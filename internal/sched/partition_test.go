@@ -1,0 +1,52 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+)
+
+// TestPartitionGate pins the partition gate's semantics: only cross-side
+// deliveries inside the [from, until) window are vetoed; sends, crashes,
+// same-side deliveries, and everything outside the window pass.
+func TestPartitionGate(t *testing.T) {
+	recv := func(to, from ioa.Loc) ioa.Action {
+		return ioa.Action{Kind: ioa.KindReceive, Name: ioa.NameReceive, Loc: to, Peer: from}
+	}
+	// Locations 0,1 on side 0; locations 2,3 on side 1.
+	g := Partition(0b1100, 10, 20)
+
+	if g(9, ioa.TaskRef{}, recv(2, 0)) == false {
+		t.Error("cross-side delivery vetoed before the partition engages")
+	}
+	if g(10, ioa.TaskRef{}, recv(2, 0)) {
+		t.Error("cross-side delivery admitted inside the partition window")
+	}
+	if g(19, ioa.TaskRef{}, recv(0, 3)) {
+		t.Error("cross-side delivery (reverse direction) admitted inside the window")
+	}
+	if !g(15, ioa.TaskRef{}, recv(1, 0)) {
+		t.Error("same-side delivery vetoed (side 0)")
+	}
+	if !g(15, ioa.TaskRef{}, recv(3, 2)) {
+		t.Error("same-side delivery vetoed (side 1)")
+	}
+	if !g(20, ioa.TaskRef{}, recv(2, 0)) {
+		t.Error("cross-side delivery vetoed after the heal")
+	}
+	if !g(15, ioa.TaskRef{}, ioa.Action{Kind: ioa.KindSend, Name: ioa.NameSend, Loc: 0, Peer: 2}) {
+		t.Error("send vetoed: partitions delay delivery, never sending")
+	}
+	if !g(15, ioa.TaskRef{}, ioa.Action{Kind: ioa.KindCrash, Name: ioa.NameCrash, Loc: 2}) {
+		t.Error("crash vetoed by the partition gate")
+	}
+
+	// until ≤ from never heals.
+	perm := Partition(0b0001, 5, 0)
+	if perm(1_000_000, ioa.TaskRef{}, recv(1, 0)) {
+		t.Error("permanent partition healed")
+	}
+	if !perm(4, ioa.TaskRef{}, recv(1, 0)) {
+		t.Error("permanent partition engaged before its start step")
+	}
+}

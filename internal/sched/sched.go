@@ -136,6 +136,34 @@ func CrashesAfter(step, gap int) Gate {
 	}
 }
 
+// Partition returns a Gate splitting the locations into the two sides of
+// mask (bit l set = location l is on side 1): from step `from` on, every
+// delivery whose sender and receiver sit on different sides is vetoed, and
+// from step `until` on the partition heals and deliveries resume.  An
+// `until` ≤ `from` never heals.  Sends are unaffected — messages queue in
+// the channel and cross once the partition heals, which is exactly the
+// §4.3 reliable-channel reading of a network partition: delivery is
+// delayed, not lost (lossy links are the network layer's job, not the
+// gate's).  Like CrashesAfter the gate is a pure function of (step,
+// action), so it is safe to share and consult any number of times.
+//
+// A healing partition delays every cross-link delivery by a bounded amount,
+// so gated runs remain prefixes of fair executions; a permanent partition
+// is unfair to cross-link deliveries and must be paired with safety-only
+// checking (chaos.GateSpec.EventuallyFair encodes the distinction).
+func Partition(mask uint64, from, until int) Gate {
+	return func(now int, _ ioa.TaskRef, act ioa.Action) bool {
+		if act.Kind != ioa.KindReceive {
+			return true
+		}
+		if now < from || (until > from && now >= until) {
+			return true
+		}
+		// act.Loc is the receiver, act.Peer the sender.
+		return mask>>uint(act.Loc)&1 == mask>>uint(act.Peer)&1
+	}
+}
+
 // telemetryStep records one fired scheduler step in tel (which must be
 // non-nil): the step counter, the per-task fire vector keyed by flattened
 // task index, and a sched-category trace instant named after the action.

@@ -29,6 +29,8 @@ type Channel struct {
 	From, To ioa.Loc
 	queue    ring[string]
 	tel      telemetry.Sink // queue-depth sink, nil when telemetry is off
+	net      *Net           // adversarial network, nil for the reliable default
+	sent     uint64         // sends accepted so far; indexes Net link decisions
 }
 
 var _ ioa.Automaton = (*Channel)(nil)
@@ -37,6 +39,14 @@ var _ ioa.Signatured = (*Channel)(nil)
 // NewChannel returns the empty channel automaton Cfrom,to.
 func NewChannel(from, to ioa.Loc) *Channel {
 	return &Channel{From: from, To: to}
+}
+
+// NewNetChannel returns the empty channel automaton Cfrom,to applying nt's
+// per-link loss decisions (nil nt: reliable).  The caller is responsible
+// for only constructing channels whose link nt's topology contains;
+// NetChannels does both.
+func NewNetChannel(from, to ioa.Loc, nt *Net) *Channel {
+	return &Channel{From: from, To: to, net: nt}
 }
 
 // Name implements ioa.Automaton.
@@ -55,12 +65,45 @@ func (c *Channel) SignatureKeys() []ioa.SigKey {
 	return ioa.KeysOf(ioa.Send(c.From, c.To, ""))
 }
 
-// Input implements ioa.Automaton: enqueue the message.
-func (c *Channel) Input(a ioa.Action) {
-	c.queue.push(a.Payload)
+// Input implements ioa.Automaton: enqueue the message, subject to the
+// link's loss decision when an adversarial network is attached.
+func (c *Channel) Input(a ioa.Action) { c.deliverIn(a.Payload) }
+
+// deliverIn applies the link outcome for one accepted send and returns it,
+// so TrackedChannel can mirror the outcome onto its stamp queue.  The
+// reliable path (no net) is exactly the pre-network behavior.
+func (c *Channel) deliverIn(payload string) LinkOutcome {
+	out := OutDeliver
+	if c.net != nil {
+		out = c.net.Spec.Outcome(c.From, c.To, c.sent)
+		c.net.record(c.From, c.To, c.sent, out)
+		c.sent++
+	}
+	switch out {
+	case OutDrop:
+		if c.tel != nil {
+			c.tel.Count(telemetry.CMsgDropped, 1)
+		}
+		return out
+	case OutDup:
+		c.queue.push(payload)
+		c.queue.push(payload)
+		if c.tel != nil {
+			c.tel.Count(telemetry.CMsgDuplicated, 1)
+		}
+	case OutReorder:
+		c.queue.push(payload)
+		c.queue.swapTail()
+		if c.tel != nil {
+			c.tel.Count(telemetry.CMsgReordered, 1)
+		}
+	default:
+		c.queue.push(payload)
+	}
 	if c.tel != nil {
 		c.tel.Observe(telemetry.HChannelDepth, int64(c.queue.len()))
 	}
+	return out
 }
 
 // SetTelemetry installs (or, with nil, removes) a sink sampling the queue
@@ -93,25 +136,51 @@ func (c *Channel) Len() int { return c.queue.len() }
 // Queue returns a copy of the messages in transit, head first.
 func (c *Channel) Queue() []string { return c.queue.snapshot() }
 
-// Clone implements ioa.Automaton.
+// Network returns the attached adversarial network, nil for reliable
+// channels.  The differential oracle reads the spec from it to re-derive
+// link decisions independently.
+func (c *Channel) Network() *Net { return c.net }
+
+// Sent returns the number of sends this channel has accepted — the index
+// the next link decision will be drawn at.
+func (c *Channel) Sent() uint64 { return c.sent }
+
+// Clone implements ioa.Automaton.  Clones share the per-run Net (like
+// TrackedChannel's SendClock) and carry the send counter: future link
+// decisions are a function of it, so it is part of the state.
 func (c *Channel) Clone() ioa.Automaton {
-	return &Channel{From: c.From, To: c.To, queue: cloneRing(c.queue)}
+	return &Channel{From: c.From, To: c.To, queue: cloneRing(c.queue), net: c.net, sent: c.sent}
 }
 
-// Encode implements ioa.Automaton.
+// Encode implements ioa.Automaton.  Lossy channels append the send counter:
+// two states differing only in it behave differently on the next send, so
+// the counter is part of state identity; reliable channels (including
+// topology-restricted ones) keep the exact pre-network encoding, so pinned
+// golden hashes are untouched.
 func (c *Channel) Encode() string {
+	if c.net != nil && c.net.Spec.Lossy() {
+		return fmt.Sprintf("C%v>%v[%s]@%d", c.From, c.To, strings.Join(c.queue.live(), "\x1f"), c.sent)
+	}
 	return fmt.Sprintf("C%v>%v[%s]", c.From, c.To, strings.Join(c.queue.live(), "\x1f"))
 }
 
 // Channels returns the full mesh of n(n-1) channel automata for locations
 // 0..n-1, in lexicographic (from, to) order.
-func Channels(n int) []ioa.Automaton {
+func Channels(n int) []ioa.Automaton { return NetChannels(n, nil) }
+
+// NetChannels returns the channel automata of nt's topology for locations
+// 0..n-1, in lexicographic (from, to) order, each applying nt's loss
+// decisions.  A nil nt yields the reliable full mesh; a send over a link
+// the topology omits synchronizes with no channel and vanishes at the
+// sender.
+func NetChannels(n int, nt *Net) []ioa.Automaton {
 	var out []ioa.Automaton
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			if i != j {
-				out = append(out, NewChannel(ioa.Loc(i), ioa.Loc(j)))
+			if i == j || (nt != nil && !nt.Spec.Topo.Has(ioa.Loc(i), ioa.Loc(j))) {
+				continue
 			}
+			out = append(out, NewNetChannel(ioa.Loc(i), ioa.Loc(j), nt))
 		}
 	}
 	return out

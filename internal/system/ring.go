@@ -51,6 +51,17 @@ func (r *ring[T]) pop() {
 	}
 }
 
+// swapTail exchanges the two most recently pushed live elements; it is a
+// no-op with fewer than two.  Lossy links use it to realize a bounded
+// reorder: the new message overtakes exactly its predecessor.
+func (r *ring[T]) swapTail() {
+	if r.len() < 2 {
+		return
+	}
+	last := len(r.buf) - 1
+	r.buf[last], r.buf[last-1] = r.buf[last-1], r.buf[last]
+}
+
 // snapshot returns an independent copy of the live elements, head first.
 func (r *ring[T]) snapshot() []T { return append([]T(nil), r.buf[r.head:]...) }
 

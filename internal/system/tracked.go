@@ -43,10 +43,31 @@ func NewTrackedChannel(from, to ioa.Loc, clock *SendClock) *TrackedChannel {
 	return &TrackedChannel{Channel: Channel{From: from, To: to}, clock: clock}
 }
 
-// Input enqueues the message and stamps it.
+// NewNetTrackedChannel is NewTrackedChannel over an adversarial network
+// (nil nt: reliable).
+func NewNetTrackedChannel(from, to ioa.Loc, clock *SendClock, nt *Net) *TrackedChannel {
+	return &TrackedChannel{Channel: Channel{From: from, To: to, net: nt}, clock: clock}
+}
+
+// Input enqueues the message and stamps it, mirroring the link outcome onto
+// the stamp queue so stamps stay parallel to messages.  The clock ticks on
+// every send regardless of outcome — the send happened; a dropped message
+// simply consumes its stamp — which the oracle's shadow clock counter
+// replicates.
 func (c *TrackedChannel) Input(a ioa.Action) {
-	c.Channel.Input(a)
-	c.stamps.push(c.clock.tick())
+	out := c.deliverIn(a.Payload)
+	stamp := c.clock.tick()
+	switch out {
+	case OutDrop:
+	case OutDup:
+		c.stamps.push(stamp)
+		c.stamps.push(stamp)
+	case OutReorder:
+		c.stamps.push(stamp)
+		c.stamps.swapTail()
+	default:
+		c.stamps.push(stamp)
+	}
 }
 
 // Fire dequeues the delivered message and its stamp.
@@ -77,7 +98,7 @@ func (c *TrackedChannel) Clock() *SendClock { return c.clock }
 // should use plain Channels.
 func (c *TrackedChannel) Clone() ioa.Automaton {
 	return &TrackedChannel{
-		Channel: Channel{From: c.From, To: c.To, queue: cloneRing(c.queue)},
+		Channel: Channel{From: c.From, To: c.To, queue: cloneRing(c.queue), net: c.net, sent: c.sent},
 		clock:   c.clock,
 		stamps:  cloneRing(c.stamps),
 	}
@@ -93,12 +114,20 @@ func (c *TrackedChannel) Encode() string {
 // order — a drop-in replacement for Channels when schedulers need send
 // stamps.
 func TrackedChannels(n int, clock *SendClock) []ioa.Automaton {
+	return NetTrackedChannels(n, clock, nil)
+}
+
+// NetTrackedChannels is NetChannels with send stamping: the tracked channel
+// automata of nt's topology sharing one clock, in lexicographic (from, to)
+// order.  A nil nt yields the reliable full mesh.
+func NetTrackedChannels(n int, clock *SendClock, nt *Net) []ioa.Automaton {
 	var out []ioa.Automaton
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			if i != j {
-				out = append(out, NewTrackedChannel(ioa.Loc(i), ioa.Loc(j), clock))
+			if i == j || (nt != nil && !nt.Spec.Topo.Has(ioa.Loc(i), ioa.Loc(j))) {
+				continue
 			}
+			out = append(out, NewNetTrackedChannel(ioa.Loc(i), ioa.Loc(j), clock, nt))
 		}
 	}
 	return out

@@ -101,8 +101,9 @@ type Registry struct {
 }
 
 // NewRegistry returns a fresh registry with the standard histograms (channel
-// depth: powers of two to 256; oracle sweep latency: 1µs..256ms) and a
-// trace recorder of DefaultTraceCap events.
+// depth: powers of two to 256; oracle sweep latency: 1µs..256ms; healed
+// partition duration: powers of four to 16384 steps) and a trace recorder of
+// DefaultTraceCap events.
 func NewRegistry() *Registry {
 	r := &Registry{
 		tasks: make([]atomic.Int64, maxTasks),
@@ -113,6 +114,7 @@ func NewRegistry() *Registry {
 		1_000, 4_000, 16_000, 64_000, 256_000, // 1µs .. 256µs
 		1_000_000, 4_000_000, 16_000_000, 64_000_000, 256_000_000, // 1ms .. 256ms
 	)
+	r.hists[HPartitionSteps] = NewHistogram(16, 64, 256, 1024, 4096, 16384)
 	return r
 }
 

@@ -63,17 +63,32 @@ const (
 	CChaosRuns
 	// CChaosFailures counts chaos executions that violated their spec.
 	CChaosFailures
+	// CMsgDropped counts messages dropped by lossy links (adversarial
+	// network layer; the paper's §4.3 channels never drop).
+	CMsgDropped
+	// CMsgDuplicated counts messages duplicated by lossy links.
+	CMsgDuplicated
+	// CMsgReordered counts messages swapped past their predecessor by
+	// lossy links (bounded FIFO violation).
+	CMsgReordered
 	// GValenceFrontier is the current exploration frontier width.
 	GValenceFrontier
 	// GValenceFrontierPeak is the high-water frontier width of the run.
 	GValenceFrontierPeak
 	// GValenceWorkers is the configured exploration worker count.
 	GValenceWorkers
+	// GPartitionActive is 1 while a partition gate is splitting the
+	// system, 0 otherwise.
+	GPartitionActive
 	// HChannelDepth is the distribution of channel queue depths observed at
 	// each enqueue (in-flight messages per §4.3 FIFO channel).
 	HChannelDepth
 	// HOracleSweepNs is the distribution of oracle sweep latencies.
 	HOracleSweepNs
+	// HPartitionSteps is the distribution of healed-partition durations in
+	// scheduler steps (observed at heal time; permanent partitions never
+	// sample it).
+	HPartitionSteps
 
 	numMetrics
 )
@@ -93,11 +108,16 @@ var metricNames = [numMetrics]string{
 	CFixpointRounds:      "fixpoint_rounds",
 	CChaosRuns:           "chaos_runs",
 	CChaosFailures:       "chaos_failures",
+	CMsgDropped:          "msgs_dropped",
+	CMsgDuplicated:       "msgs_duplicated",
+	CMsgReordered:        "msgs_reordered",
 	GValenceFrontier:     "valence_frontier",
 	GValenceFrontierPeak: "valence_frontier_peak",
 	GValenceWorkers:      "valence_workers",
+	GPartitionActive:     "partition_active",
 	HChannelDepth:        "channel_depth",
 	HOracleSweepNs:       "oracle_sweep_ns",
+	HPartitionSteps:      "partition_steps",
 }
 
 // Name returns the metric's snapshot key.
@@ -108,6 +128,7 @@ var isGauge = [numMetrics]bool{
 	GValenceFrontier:     true,
 	GValenceFrontierPeak: true,
 	GValenceWorkers:      true,
+	GPartitionActive:     true,
 }
 
 // Category classifies trace events for the Chrome trace "cat" field.

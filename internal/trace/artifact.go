@@ -21,6 +21,29 @@ type GateVeto struct {
 	Action string `json:"action"`
 }
 
+// LinkEvent records one non-deliver decision of a lossy link: the directed
+// link ("from>to"), the 0-based per-link send index the decision applied
+// to, and the outcome ("drop", "dup", "reorder").  Like the gate-veto log,
+// it is informational — replay determinism comes from re-deriving every
+// decision from the recorded NetWire parameters — but it makes a lossy
+// reproducer legible without re-running it.
+type LinkEvent struct {
+	Link    string `json:"link"`
+	Seq     uint64 `json:"seq"`
+	Outcome string `json:"outcome"`
+}
+
+// NetWire is the artifact form of an adversarial network: the topology
+// descriptor (system.ParseTopology round-trips it), the link-decision seed,
+// and the permille loss rates.  A nil NetWire means the reliable full mesh.
+type NetWire struct {
+	Topo    string `json:"topo,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	Drop    int    `json:"drop,omitempty"`
+	Dup     int    `json:"dup,omitempty"`
+	Reorder int    `json:"reorder,omitempty"`
+}
+
 // Artifact is a self-contained, replayable record of one chaos run: the
 // target system, the full randomness (seed), the fault plan, the gate
 // parameters, and the verdict.  Everything the run consumed is a
@@ -40,7 +63,12 @@ type Artifact struct {
 	Crash   []ioa.Loc      `json:"crash"`
 	Gate    map[string]int `json:"gate,omitempty"`
 	GateLog []GateVeto     `json:"gateLog,omitempty"`
-	Verdict string         `json:"verdict,omitempty"`
+	// Net records the adversarial network the run executed over (nil: the
+	// reliable full mesh); NetLog is the bounded log of its non-deliver
+	// link decisions.  Replays reconstruct the network from Net alone.
+	Net     *NetWire    `json:"net,omitempty"`
+	NetLog  []LinkEvent `json:"netLog,omitempty"`
+	Verdict string      `json:"verdict,omitempty"`
 	// TraceRef, when set, names the Chrome trace_event file recorded
 	// alongside this artifact (a relative path or URL).  The cross-link runs
 	// both ways: the telemetry trace carries the artifact path in its

@@ -214,6 +214,17 @@ func PToPsiK(k int) Local {
 // ◇W→◇S-shaped reductions become executable with real channel traffic.
 type Gossip struct {
 	From, To string
+	// Forward selects relay mode for degraded networks: messages carry
+	// their origin ("origin|set") and a location that learns new members
+	// for an origin's set rebroadcasts the improved set, flooding state
+	// across multi-hop topologies.  Merges are monotone unions — a copy
+	// can only add members to the stored set — so duplicated, reordered,
+	// or multi-path-raced copies cannot regress state (a last-write-wins
+	// relay would let a stale set overwrite a fresher one).  Sound because
+	// the source families gossip boosts emit monotone crash sets.  Each
+	// origin's stored set grows at most n times, so relay traffic is
+	// bounded and the flood quiesces.
+	Forward bool
 }
 
 // Procs returns the gossip distributed algorithm for n locations.
@@ -245,15 +256,76 @@ func (m *gossipMachine) OnFD(a ioa.Action, e *system.Effects) {
 	// change to every live location.
 	if m.latest[m.self] != a.Payload {
 		m.latest[m.self] = a.Payload
-		e.Broadcast(m.n, a.Payload)
+		if m.cfg.Forward {
+			e.Broadcast(m.n, tagOrigin(m.self, a.Payload))
+		} else {
+			e.Broadcast(m.n, a.Payload)
+		}
 	}
 	m.emit(e)
 }
 
 func (m *gossipMachine) OnReceive(from ioa.Loc, msg string, e *system.Effects) {
-	// Update only; the next FD input emits the refreshed union.  Live
-	// locations receive FD inputs forever, so outputs remain infinite.
-	m.latest[from] = msg
+	if !m.cfg.Forward {
+		// Update only; the next FD input emits the refreshed union.  Live
+		// locations receive FD inputs forever, so outputs remain infinite.
+		m.latest[from] = msg
+		return
+	}
+	origin, payload, err := splitOrigin(msg)
+	if err != nil || origin == m.self {
+		// Malformed relays are dropped (vacuous obligation, as for
+		// malformed FD inputs); copies of our own set are already
+		// subsumed by the authoritative local state.
+		return
+	}
+	merged, grew := unionGrow(m.latest[origin], payload)
+	if grew {
+		m.latest[origin] = merged
+		e.Broadcast(m.n, tagOrigin(origin, merged))
+	}
+}
+
+// tagOrigin wraps a relay payload with the location whose set it carries.
+func tagOrigin(origin ioa.Loc, payload string) string {
+	return ioa.EncodeLoc(origin) + "|" + payload
+}
+
+// splitOrigin undoes tagOrigin.
+func splitOrigin(msg string) (ioa.Loc, string, error) {
+	i := strings.IndexByte(msg, '|')
+	if i < 0 {
+		return 0, "", fmt.Errorf("transform: untagged relay message %q", msg)
+	}
+	origin, err := ioa.DecodeLoc(msg[:i])
+	return origin, msg[i+1:], err
+}
+
+// unionGrow merges a received location set into the stored one, reporting
+// whether it added members.  A stored "" counts as the empty set, so
+// member-free messages are never adopted (nothing to propagate).
+func unionGrow(stored, received string) (string, bool) {
+	recv, err := ioa.DecodeLocSet(received)
+	if err != nil || len(recv) == 0 {
+		return stored, false
+	}
+	have := map[ioa.Loc]bool{}
+	if stored != "" {
+		if have, err = ioa.DecodeLocSet(stored); err != nil {
+			have = map[ioa.Loc]bool{}
+		}
+	}
+	grew := false
+	for l := range recv {
+		if !have[l] {
+			have[l] = true
+			grew = true
+		}
+	}
+	if !grew {
+		return stored, false
+	}
+	return ioa.EncodeLocSet(have), true
 }
 
 func (m *gossipMachine) emit(e *system.Effects) {
