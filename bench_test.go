@@ -35,6 +35,7 @@ func BenchmarkSystemThroughput(b *testing.B) {
 				autos = append(autos, system.Channels(n)...)
 				autos = append(autos, system.NewCrash(system.NoFaults()))
 				sys := ioa.MustNewSystem(autos...)
+				sys.SetTraceMode(ioa.TraceOff, 0) // throughput, not trace content
 				sched.RoundRobin(sys, sched.Options{MaxSteps: 10_000})
 				b.ReportMetric(float64(sys.Steps()), "events/op")
 			}
@@ -60,6 +61,7 @@ func BenchmarkSystemThroughputOracle(b *testing.B) {
 				autos = append(autos, system.Channels(n)...)
 				autos = append(autos, system.NewCrash(system.NoFaults()))
 				sys := ioa.MustNewSystem(autos...)
+				sys.SetTraceMode(ioa.TraceOff, 0) // same mode as the baseline it is compared to
 				o := oracle.Attach(sys, oracle.Options{Shadow: true})
 				sched.RoundRobin(sys, sched.Options{MaxSteps: 10_000})
 				if err := o.Check(); err != nil {

@@ -3,13 +3,16 @@
 // the E10 valence-exploration throughput (BenchmarkValence* configurations,
 // serial and parallel), and writes the results as JSON.  CI runs it on
 // every pull request and uploads the file as the BENCH_pr artifact so
-// throughput regressions across PRs are a download-and-diff away.
+// throughput regressions across PRs are a download-and-diff away; with
+// -baseline it additionally gates on a committed report (exit 1 when any
+// matching row regresses by more than -tolerance).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -23,21 +26,68 @@ import (
 	"repro/internal/valence"
 )
 
+// repStats summarizes the per-repetition wall times and allocation counts of
+// one benchmark row: the best (minimum) time — the least-noise estimator on a
+// shared box — plus mean and sample standard deviation so a reader can judge
+// how much the best is luck, and the mean mallocs per unit of work.
+type repStats struct {
+	NsBest      int64   `json:"ns_best"`
+	NsMean      float64 `json:"ns_mean"`
+	NsStddev    float64 `json:"ns_stddev"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// summarize folds per-rep (nanoseconds, allocs/op) samples into repStats.
+func summarize(ns []int64, allocs []float64) repStats {
+	st := repStats{NsBest: ns[0]}
+	var sum float64
+	for _, v := range ns {
+		if v < st.NsBest {
+			st.NsBest = v
+		}
+		sum += float64(v)
+	}
+	mean := sum / float64(len(ns))
+	st.NsMean = mean
+	if len(ns) > 1 {
+		var ss float64
+		for _, v := range ns {
+			d := float64(v) - mean
+			ss += d * d
+		}
+		st.NsStddev = math.Sqrt(ss / float64(len(ns)-1))
+	}
+	for _, a := range allocs {
+		st.AllocsPerOp += a
+	}
+	st.AllocsPerOp /= float64(len(allocs))
+	return st
+}
+
+// mallocs returns the process-wide cumulative malloc count; successive
+// deltas around a run give its allocation cost (GC-independent: Mallocs
+// never decreases).
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
 // sizeResult is the E1 row for one system size.
 type sizeResult struct {
-	N            int     `json:"n"`
-	Events       int     `json:"events"`
-	NsBest       int64   `json:"ns_best"`
+	N      int `json:"n"`
+	Events int `json:"events"`
+	repStats
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
 // valenceResult is one E10 exploration-throughput row.
 type valenceResult struct {
-	Config      string  `json:"config"`
-	Workers     int     `json:"workers"` // 0 = GOMAXPROCS
-	Nodes       int     `json:"nodes"`
-	Edges       int     `json:"edges"`
-	NsBest      int64   `json:"ns_best"`
+	Config  string `json:"config"`
+	Workers int    `json:"workers"` // 0 = GOMAXPROCS
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	repStats
 	NodesPerSec float64 `json:"nodes_per_sec"`
 }
 
@@ -60,21 +110,26 @@ type report struct {
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
-func run(n, steps int) (events int, elapsed time.Duration, err error) {
+func run(n, steps int) (events int, elapsed time.Duration, allocs uint64, err error) {
 	d, err := afd.Lookup(afd.FamilyP, n)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	autos := []ioa.Automaton{d.Automaton(n)}
 	autos = append(autos, system.Channels(n)...)
 	autos = append(autos, system.NewCrash(system.NoFaults()))
 	sys, err := ioa.NewSystem(autos...)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
+	// Throughput, not trace content: leaving the default TraceAll on would
+	// append (and allocate) one Action per event, measuring the trace
+	// buffer instead of the engine.
+	sys.SetTraceMode(ioa.TraceOff, 0)
+	m0 := mallocs()
 	start := time.Now()
 	sched.RoundRobin(sys, sched.Options{MaxSteps: steps})
-	return sys.Steps(), time.Since(start), nil
+	return sys.Steps(), time.Since(start), mallocs() - m0, nil
 }
 
 // telemetrySection performs the single instrumented pass feeding the
@@ -115,10 +170,63 @@ func telemetrySection(reg *telemetry.Registry, steps int) (*telemetry.Snapshot, 
 	return &snap, nil
 }
 
+// checkBaseline compares the fresh report against a committed one, row by
+// row on the primary throughput metric, and returns the regressions worse
+// than tol (0.10 = fail when a row runs >10% slower than the baseline).
+// Rows the baseline lacks are new and pass trivially; rows the baseline has
+// but the report lacks fail, so a config cannot vanish unnoticed.
+func checkBaseline(rep report, path string, tol float64) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var bad []string
+	floor := 1 - tol
+	for _, b := range base.Sizes {
+		found := false
+		for _, s := range rep.Sizes {
+			if s.N != b.N {
+				continue
+			}
+			found = true
+			if s.EventsPerSec < b.EventsPerSec*floor {
+				bad = append(bad, fmt.Sprintf("E1 n=%d: %.0f events/sec, baseline %.0f (-%.1f%%)",
+					b.N, s.EventsPerSec, b.EventsPerSec, 100*(1-s.EventsPerSec/b.EventsPerSec)))
+			}
+		}
+		if !found {
+			bad = append(bad, fmt.Sprintf("E1 n=%d: missing from report", b.N))
+		}
+	}
+	for _, b := range base.Valence {
+		found := false
+		for _, v := range rep.Valence {
+			if v.Config != b.Config || v.Workers != b.Workers {
+				continue
+			}
+			found = true
+			if v.NodesPerSec < b.NodesPerSec*floor {
+				bad = append(bad, fmt.Sprintf("valence %s workers=%d: %.0f nodes/sec, baseline %.0f (-%.1f%%)",
+					b.Config, b.Workers, v.NodesPerSec, b.NodesPerSec, 100*(1-v.NodesPerSec/b.NodesPerSec)))
+			}
+		}
+		if !found {
+			bad = append(bad, fmt.Sprintf("valence %s workers=%d: missing from report", b.Config, b.Workers))
+		}
+	}
+	return bad
+}
+
 func main() {
 	out := flag.String("out", "BENCH_pr.json", "output path")
 	steps := flag.Int("steps", 100_000, "events per measured run")
 	reps := flag.Int("reps", 3, "repetitions per size (best is reported)")
+	baseline := flag.String("baseline", "", "committed report to gate against (empty: no gate)")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression vs -baseline")
 	telAddr := flag.String("telemetry.addr", "", "serve expvar+pprof+metrics on this address")
 	traceOut := flag.String("trace.out", "", "write a Chrome trace_event JSON file on exit")
 	flag.Parse()
@@ -144,34 +252,47 @@ func main() {
 		Reps:       *reps,
 	}
 	for _, n := range []int{4, 8, 16, 32} {
-		best := sizeResult{N: n}
+		row := sizeResult{N: n}
+		var ns []int64
+		var allocs []float64
 		for r := 0; r < *reps; r++ {
-			events, el, err := run(n, *steps)
+			events, el, mall, err := run(n, *steps)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "benchjson: n=%d: %v\n", n, err)
 				os.Exit(1)
 			}
-			if best.NsBest == 0 || el.Nanoseconds() < best.NsBest {
-				best.Events = events
-				best.NsBest = el.Nanoseconds()
-				best.EventsPerSec = float64(events) / el.Seconds()
-			}
+			row.Events = events
+			ns = append(ns, el.Nanoseconds())
+			allocs = append(allocs, float64(mall)/float64(events))
 		}
-		rep.Sizes = append(rep.Sizes, best)
-		fmt.Printf("n=%-3d %d events in %v (%.0f events/sec)\n",
-			n, best.Events, time.Duration(best.NsBest), best.EventsPerSec)
+		row.repStats = summarize(ns, allocs)
+		row.EventsPerSec = float64(row.Events) / (float64(row.NsBest) / 1e9)
+		rep.Sizes = append(rep.Sizes, row)
+		fmt.Printf("n=%-3d %d events in %v ±%v (%.0f events/sec, %.3f allocs/op)\n",
+			n, row.Events, time.Duration(row.NsBest), time.Duration(int64(row.NsStddev)),
+			row.EventsPerSec, row.AllocsPerOp)
 	}
 	valenceConfigs := []struct {
-		name string
-		cfg  valence.Config
+		name    string
+		workers []int
+		cfg     valence.Config
 	}{
-		{"omega n=2 rounds=6", valence.Config{N: 2, Family: afd.FamilyOmega, TD: valence.OmegaTD(2, 6, nil)}},
-		{"perfect s n=2 crash", valence.Config{N: 2, Family: afd.FamilyP, Algo: "s",
+		{"omega n=2 rounds=6", []int{1, 0}, valence.Config{N: 2, Family: afd.FamilyOmega, TD: valence.OmegaTD(2, 6, nil)}},
+		{"perfect s n=2 crash", []int{1, 0}, valence.Config{N: 2, Family: afd.FamilyP, Algo: "s",
 			TD: valence.PerfectTD(2, 4, map[ioa.Loc]int{1: 1})}},
+		// The E11 acceptance config: the ~830k-edge n=3 golden graph, at
+		// the serial reference (workers=1) and the delta-encoding pool
+		// (workers=4) — the pair whose ratio the ≥2.5x parallel-speedup
+		// budget is judged on.
+		{"perfect s n=3 crash", []int{1, 4}, valence.Config{N: 3, Family: afd.FamilyP, Algo: "s",
+			TD:     valence.PerfectTD(3, 2, map[ioa.Loc]int{2: 1}),
+			Values: []int{-1, 1, 1}, MaxNodes: 1_500_000}},
 	}
 	for _, vc := range valenceConfigs {
-		for _, workers := range []int{1, 0} {
-			best := valenceResult{Config: vc.name, Workers: workers}
+		for _, workers := range vc.workers {
+			row := valenceResult{Config: vc.name, Workers: workers}
+			var ns []int64
+			var allocs []float64
 			for r := 0; r < *reps; r++ {
 				cfg := vc.cfg
 				cfg.Workers = workers
@@ -180,22 +301,24 @@ func main() {
 					fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", vc.name, err)
 					os.Exit(1)
 				}
+				m0 := mallocs()
 				start := time.Now()
 				if err := e.Explore(); err != nil {
 					fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", vc.name, err)
 					os.Exit(1)
 				}
 				el := time.Since(start)
-				if best.NsBest == 0 || el.Nanoseconds() < best.NsBest {
-					best.Nodes = e.NumNodes()
-					best.Edges = e.NumEdges()
-					best.NsBest = el.Nanoseconds()
-					best.NodesPerSec = float64(e.NumNodes()) / el.Seconds()
-				}
+				row.Nodes = e.NumNodes()
+				row.Edges = e.NumEdges()
+				ns = append(ns, el.Nanoseconds())
+				allocs = append(allocs, float64(mallocs()-m0)/float64(e.NumNodes()))
 			}
-			rep.Valence = append(rep.Valence, best)
-			fmt.Printf("valence %-22s workers=%-3d %d nodes in %v (%.0f nodes/sec)\n",
-				best.Config, workers, best.Nodes, time.Duration(best.NsBest), best.NodesPerSec)
+			row.repStats = summarize(ns, allocs)
+			row.NodesPerSec = float64(row.Nodes) / (float64(row.NsBest) / 1e9)
+			rep.Valence = append(rep.Valence, row)
+			fmt.Printf("valence %-22s workers=%-3d %d nodes in %v ±%v (%.0f nodes/sec, %.1f allocs/node)\n",
+				row.Config, workers, row.Nodes, time.Duration(row.NsBest),
+				time.Duration(int64(row.NsStddev)), row.NodesPerSec, row.AllocsPerOp)
 		}
 	}
 	snap, err := telemetrySection(reg, *steps)
@@ -219,4 +342,15 @@ func main() {
 		os.Exit(1)
 	}
 	flush()
+
+	if *baseline != "" {
+		if bad := checkBaseline(rep, *baseline, *tolerance); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: regression vs %s (tolerance %.0f%%):\n", *baseline, 100**tolerance)
+			for _, b := range bad {
+				fmt.Fprintf(os.Stderr, "  %s\n", b)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("baseline %s: all rows within %.0f%%\n", *baseline, 100**tolerance)
+	}
 }

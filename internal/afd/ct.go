@@ -153,7 +153,7 @@ func (EvQ) Check(t trace.T, n int, w Window) error {
 func crashsetGenerator(family string, n int) ioa.Automaton {
 	return NewGenerator(family, n, func(st *GenState, _ ioa.Loc) string {
 		return ioa.EncodeLocSet(st.CrashSet())
-	})
+	}).StablePayload(0)
 }
 
 // minLiveGenerator outputs crashset at min(Π \ crashset) and ∅ elsewhere —
@@ -164,7 +164,7 @@ func minLiveGenerator(family string, n int) ioa.Automaton {
 			return ioa.EncodeLocSet(st.CrashSet())
 		}
 		return ioa.EncodeLocSet(nil)
-	})
+	}).StablePayload(0)
 }
 
 // perverseGenerator suspects Π \ {i} for the first k outputs at each
@@ -181,5 +181,5 @@ func perverseGenerator(family string, n, k int) ioa.Automaton {
 			return ioa.EncodeLocSet(wrong)
 		}
 		return ioa.EncodeLocSet(st.CrashSet())
-	})
+	}).StablePayload(k)
 }

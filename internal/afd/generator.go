@@ -64,6 +64,16 @@ type Generator struct {
 	family string
 	out    OutputFunc
 	st     GenState
+
+	// stableAfter declares when a location's payload stops depending on its
+	// emission counter: once Emitted[i] >= stableAfter, out(st, i) is a
+	// function of the crash set alone.  -1 (the default) promises nothing.
+	// With the promise, Enabled memoizes the payload per location — the
+	// every-event repoll of the fired task returns the cached string instead
+	// of re-deriving (and re-allocating) an identical one — invalidating on
+	// crash inputs always and on fires only inside the volatile prefix.
+	stableAfter int
+	payload     []string // cached payload per location; "" = not cached
 }
 
 var _ ioa.Automaton = (*Generator)(nil)
@@ -73,14 +83,27 @@ var _ ioa.FireLocalized = (*Generator)(nil)
 // NewGenerator builds a generator automaton for the given output family.
 func NewGenerator(family string, n int, out OutputFunc) *Generator {
 	return &Generator{
-		family: family,
-		out:    out,
+		family:      family,
+		out:         out,
+		stableAfter: -1,
 		st: GenState{
 			N:       n,
 			Crashed: make([]bool, n),
 			Emitted: make([]int, n),
 		},
 	}
+}
+
+// StablePayload promises that out(st, i) no longer depends on Emitted[i]
+// once Emitted[i] >= after (after = 0: the payload is a pure function of the
+// crash set, true of every non-perverse family in the zoo), enabling the
+// per-location payload cache.  The payload must never be the empty string
+// (every family encodes at least "{}" or a location number).  Returns g for
+// chaining at construction sites.
+func (g *Generator) StablePayload(after int) *Generator {
+	g.stableAfter = after
+	g.payload = make([]string, g.st.N)
+	return g
 }
 
 // Name implements ioa.Automaton.
@@ -103,10 +126,15 @@ func (g *Generator) SignatureKeys() []ioa.SigKey {
 	return keys
 }
 
-// Input implements ioa.Automaton: crashi adds i to the crash set.
+// Input implements ioa.Automaton: crashi adds i to the crash set.  Every
+// location's payload may depend on the crash set, so the whole payload cache
+// is invalidated (crashes are rare; fires are the hot path).
 func (g *Generator) Input(a ioa.Action) {
 	if int(a.Loc) < len(g.st.Crashed) {
 		g.st.Crashed[a.Loc] = true
+		for i := range g.payload {
+			g.payload[i] = ""
+		}
 	}
 }
 
@@ -118,15 +146,32 @@ func (g *Generator) TaskLabel(t int) string { return fmt.Sprintf("%s@%d", g.fami
 
 // Enabled implements ioa.Automaton: while i has not crashed, the output at i
 // with the payload the OutputFunc computes (precondition i ∉ crashset).
+// Memoization via the StablePayload cache never changes the returned action,
+// only whether the OutputFunc runs.
 func (g *Generator) Enabled(t int) (ioa.Action, bool) {
 	if g.st.Crashed[t] {
 		return ioa.Action{}, false
+	}
+	if g.payload != nil {
+		if p := g.payload[t]; p != "" {
+			return ioa.FDOutput(g.family, ioa.Loc(t), p), true
+		}
+		p := g.out(&g.st, ioa.Loc(t))
+		g.payload[t] = p
+		return ioa.FDOutput(g.family, ioa.Loc(t), p), true
 	}
 	return ioa.FDOutput(g.family, ioa.Loc(t), g.out(&g.st, ioa.Loc(t))), true
 }
 
 // Fire implements ioa.Automaton.
-func (g *Generator) Fire(a ioa.Action) { g.st.Emitted[a.Loc]++ }
+func (g *Generator) Fire(a ioa.Action) {
+	g.st.Emitted[a.Loc]++
+	if g.payload != nil && g.st.Emitted[a.Loc] <= g.stableAfter {
+		// Still inside the volatile prefix (or just crossed out of it):
+		// the payload at this location may have changed.
+		g.payload[a.Loc] = ""
+	}
+}
 
 // FireTouches implements ioa.FireLocalized: firing the output at location i
 // only bumps Emitted[i], and every OutputFunc in the zoo reads only its own
@@ -137,9 +182,12 @@ func (g *Generator) FireTouches(a ioa.Action) int { return int(a.Loc) }
 
 // Clone implements ioa.Automaton.
 func (g *Generator) Clone() ioa.Automaton {
-	c := &Generator{family: g.family, out: g.out, st: GenState{N: g.st.N}}
+	c := &Generator{family: g.family, out: g.out, stableAfter: g.stableAfter, st: GenState{N: g.st.N}}
 	c.st.Crashed = append([]bool(nil), g.st.Crashed...)
 	c.st.Emitted = append([]int(nil), g.st.Emitted...)
+	if g.payload != nil {
+		c.payload = append([]string(nil), g.payload...)
+	}
 	return c
 }
 

@@ -57,7 +57,7 @@ func MaraboutOracle(n int, willCrash []ioa.Loc) ioa.Automaton {
 	payload := ioa.EncodeLocSet(future)
 	return NewGenerator(FamilyMarabout, n, func(*GenState, ioa.Loc) string {
 		return payload
-	})
+	}).StablePayload(0)
 }
 
 // MaraboutHonest is the best causal attempt at Marabout: output crashset.
@@ -66,7 +66,7 @@ func MaraboutOracle(n int, willCrash []ioa.Loc) ioa.Automaton {
 func MaraboutHonest(n int) ioa.Automaton {
 	return NewGenerator(FamilyMarabout, n, func(st *GenState, _ ioa.Loc) string {
 		return ioa.EncodeLocSet(st.CrashSet())
-	})
+	}).StablePayload(0)
 }
 
 // Slanderer is a deliberately broken perfect detector: its automaton
@@ -93,7 +93,7 @@ func (d Slanderer) Automaton(n int) ioa.Automaton {
 		set := st.CrashSet()
 		set[d.Scapegoat] = true
 		return ioa.EncodeLocSet(set)
-	})
+	}).StablePayload(0)
 }
 
 // Check implements Detector by deferring to the honest P specification —

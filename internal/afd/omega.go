@@ -30,7 +30,7 @@ func (Omega) Family() string { return FamilyOmega }
 func (Omega) Automaton(n int) ioa.Automaton {
 	return NewGenerator(FamilyOmega, n, func(st *GenState, _ ioa.Loc) string {
 		return ioa.EncodeLoc(st.MinLive())
-	})
+	}).StablePayload(0)
 }
 
 // Check implements Detector.

@@ -32,7 +32,7 @@ func (Perfect) Family() string { return FamilyP }
 func (Perfect) Automaton(n int) ioa.Automaton {
 	return NewGenerator(FamilyP, n, func(st *GenState, _ ioa.Loc) string {
 		return ioa.EncodeLocSet(st.CrashSet())
-	})
+	}).StablePayload(0)
 }
 
 // Check implements Detector.
@@ -77,7 +77,7 @@ func (d EvPerfect) Automaton(n int) ioa.Automaton {
 			return ioa.EncodeLocSet(wrong)
 		}
 		return ioa.EncodeLocSet(st.CrashSet())
-	})
+	}).StablePayload(k)
 }
 
 // Check implements Detector.

@@ -36,7 +36,7 @@ type PPlus struct{}
 func (PPlus) Automaton(n int) ioa.Automaton {
 	return NewGenerator(FamilyPPlus, n, func(st *GenState, _ ioa.Loc) string {
 		return ioa.EncodeLocSet(st.CrashSet())
-	})
+	}).StablePayload(0)
 }
 
 // CheckPPlus decides membership of a finite trace in TP+: validity plus

@@ -39,7 +39,7 @@ func (Sigma) Family() string { return FamilySigma }
 func (Sigma) Automaton(n int) ioa.Automaton {
 	return NewGenerator(FamilySigma, n, func(st *GenState, _ ioa.Loc) string {
 		return ioa.EncodeLocSet(st.LiveSet())
-	})
+	}).StablePayload(0)
 }
 
 // Check implements Detector.
@@ -131,7 +131,7 @@ func (AntiOmega) Automaton(n int) ioa.Automaton {
 			return ioa.EncodeLoc(0)
 		}
 		return ioa.EncodeLoc(ioa.Loc((int(m) + 1) % st.N))
-	})
+	}).StablePayload(0)
 }
 
 // Check implements Detector.
@@ -174,7 +174,7 @@ func (d OmegaK) Automaton(n int) ioa.Automaton {
 	k := d.K
 	return NewGenerator(FamilyOmegaK, n, func(st *GenState, _ ioa.Loc) string {
 		return ioa.EncodeLocSet(firstKLiveFirst(st, k))
-	})
+	}).StablePayload(0)
 }
 
 // Check implements Detector.
@@ -253,7 +253,7 @@ func (d PsiK) Automaton(n int) ioa.Automaton {
 	k := d.K
 	return NewGenerator(FamilyPsiK, n, func(st *GenState, _ ioa.Loc) string {
 		return ioa.EncodeLocSet(st.LiveSet()) + ";" + ioa.EncodeLocSet(firstKLiveFirst(st, k))
-	})
+	}).StablePayload(0)
 }
 
 // Check implements Detector.

@@ -2,7 +2,7 @@ package consensus
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 	"strconv"
 	"strings"
 
@@ -30,6 +30,24 @@ type estTS struct {
 	ts  int
 }
 
+// ctRound is the per-round state of one round r ≥ CTMachine.round.  What the
+// machine previously kept as four independent map[int]map[ioa.Loc]T maps is
+// one flat record: location sets are 64-bit masks and the estimates a dense
+// n-slot array, so cloning a machine — which the execution-tree explorer does
+// once per node — copies a short slice instead of rebuilding nested maps.
+// Per category, presence in the old encoding (an inner map existed for r)
+// coincides with the category being non-empty, which the masks and hasC
+// preserve exactly.
+type ctRound struct {
+	r        int
+	estMask  uint64  // locations whose phase-1 estimate arrived
+	ackMask  uint64  // locations that acked
+	nackMask uint64  // locations that nacked
+	hasC     bool    // coordinator proposal received
+	gotC     string  // the proposal, when hasC
+	ests     []estTS // dense n slots, allocated on the first estimate; estMask says which are live
+}
+
 // CTMachine is the Chandra-Toueg-style rotating-coordinator consensus
 // machine hosted by a process automaton.  Round r's coordinator is location
 // (r−1) mod n.  The machine requires a majority of live locations
@@ -54,29 +72,25 @@ type CTMachine struct {
 	replied  bool // sent A/N (or self-adopted as coordinator) for round
 	sentC    bool // coordinator has sent C for the current round
 
-	// Per-round state for rounds ≥ round (earlier rounds are pruned).
-	ests  map[int]map[ioa.Loc]estTS
-	acks  map[int]map[ioa.Loc]bool
-	nacks map[int]map[ioa.Loc]bool
-	gotC  map[int]string
+	// Per-round state for rounds ≥ round (earlier rounds are pruned),
+	// ascending by round number.
+	rounds []ctRound
 
 	decided    bool
 	decidedVal string
 }
 
 var _ system.Machine = (*CTMachine)(nil)
+var _ ioa.AppendEncoder = (*CTMachine)(nil)
 
 // NewCTMachine returns the consensus machine for location self of n.
+// Location sets are bitmasks, so n is capped at 64 (the repository's
+// experiments use n ≤ 32).
 func NewCTMachine(n int, self ioa.Loc, susp Suspector) *CTMachine {
-	return &CTMachine{
-		n:     n,
-		self:  self,
-		susp:  susp,
-		ests:  make(map[int]map[ioa.Loc]estTS),
-		acks:  make(map[int]map[ioa.Loc]bool),
-		nacks: make(map[int]map[ioa.Loc]bool),
-		gotC:  make(map[int]string),
+	if n > 64 {
+		panic("consensus: CTMachine supports at most 64 locations")
 	}
+	return &CTMachine{n: n, self: self, susp: susp}
 }
 
 // Round returns the current round (a progress metric for experiments).
@@ -88,6 +102,44 @@ func (m *CTMachine) Decided() (string, bool) { return m.decidedVal, m.decided }
 func (m *CTMachine) coord(r int) ioa.Loc { return ioa.Loc((r - 1) % m.n) }
 
 func (m *CTMachine) majority() int { return m.n/2 + 1 }
+
+// findRound returns the record for round r, or nil.
+func (m *CTMachine) findRound(r int) *ctRound {
+	for i := len(m.rounds) - 1; i >= 0; i-- {
+		if m.rounds[i].r == r {
+			return &m.rounds[i]
+		}
+		if m.rounds[i].r < r {
+			break
+		}
+	}
+	return nil
+}
+
+// roundAt returns the record for round r, inserting an empty one in
+// ascending position if absent.  Rounds mostly arrive in order, so the scan
+// from the tail is O(1) in steady state.
+func (m *CTMachine) roundAt(r int) *ctRound {
+	i := len(m.rounds)
+	for i > 0 && m.rounds[i-1].r > r {
+		i--
+	}
+	if i > 0 && m.rounds[i-1].r == r {
+		return &m.rounds[i-1]
+	}
+	m.rounds = append(m.rounds, ctRound{})
+	copy(m.rounds[i+1:], m.rounds[i:])
+	m.rounds[i] = ctRound{r: r}
+	return &m.rounds[i]
+}
+
+// estsOf returns round rd's dense estimate array, allocating it on first use.
+func (m *CTMachine) estsOf(rd *ctRound) []estTS {
+	if rd.ests == nil {
+		rd.ests = make([]estTS, m.n)
+	}
+	return rd.ests
+}
 
 // OnStart implements system.Machine: nothing happens before propose.
 func (m *CTMachine) OnStart(*system.Effects) {}
@@ -133,10 +185,9 @@ func (m *CTMachine) OnReceive(from ioa.Loc, msg string, e *system.Effects) {
 		if err1 != nil || err2 != nil || r < m.round {
 			return
 		}
-		if m.ests[r] == nil {
-			m.ests[r] = make(map[ioa.Loc]estTS)
-		}
-		m.ests[r][from] = estTS{est: parts[2], ts: ts}
+		rd := m.roundAt(r)
+		m.estsOf(rd)[from] = estTS{est: parts[2], ts: ts}
+		rd.estMask |= 1 << uint(from)
 		m.maybeCoord(e)
 	case tagCoord:
 		if len(parts) != 3 {
@@ -146,7 +197,9 @@ func (m *CTMachine) OnReceive(from ioa.Loc, msg string, e *system.Effects) {
 		if err != nil || r < m.round {
 			return
 		}
-		m.gotC[r] = parts[2]
+		rd := m.roundAt(r)
+		rd.gotC = parts[2]
+		rd.hasC = true
 		m.maybeParticipant(e)
 	case tagAck, tagNack:
 		if len(parts) != 2 {
@@ -156,14 +209,12 @@ func (m *CTMachine) OnReceive(from ioa.Loc, msg string, e *system.Effects) {
 		if err != nil || r < m.round {
 			return
 		}
-		bucket := m.acks
+		rd := m.roundAt(r)
 		if parts[0] == tagNack {
-			bucket = m.nacks
+			rd.nackMask |= 1 << uint(from)
+		} else {
+			rd.ackMask |= 1 << uint(from)
 		}
-		if bucket[r] == nil {
-			bucket[r] = make(map[ioa.Loc]bool)
-		}
-		bucket[r][from] = true
 		m.maybeCoord(e)
 	}
 }
@@ -174,20 +225,19 @@ func (m *CTMachine) startRound(r int, e *system.Effects) {
 	m.round = r
 	m.replied = false
 	m.sentC = false
-	for _, prune := range []func(){
-		func() { pruneEst(m.ests, r) },
-		func() { pruneSet(m.acks, r) },
-		func() { pruneSet(m.nacks, r) },
-		func() { pruneStr(m.gotC, r) },
-	} {
-		prune()
+	// Prune rounds < r (ascending order makes this a front trim).
+	i := 0
+	for i < len(m.rounds) && m.rounds[i].r < r {
+		i++
+	}
+	if i > 0 {
+		m.rounds = append(m.rounds[:0], m.rounds[i:]...)
 	}
 	c := m.coord(r)
 	if c == m.self {
-		if m.ests[r] == nil {
-			m.ests[r] = make(map[ioa.Loc]estTS)
-		}
-		m.ests[r][m.self] = estTS{est: m.est, ts: m.ts}
+		rd := m.roundAt(r)
+		m.estsOf(rd)[m.self] = estTS{est: m.est, ts: m.ts}
+		rd.estMask |= 1 << uint(m.self)
 		m.maybeCoord(e)
 	} else {
 		e.Send(c, fmt.Sprintf("%s|%d|%s|%d", tagEstimate, r, m.est, m.ts))
@@ -207,8 +257,8 @@ func (m *CTMachine) maybeParticipant(e *system.Effects) {
 	if c == m.self {
 		return // coordinator duties live in maybeCoord
 	}
-	if v, ok := m.gotC[r]; ok {
-		m.est = v
+	if rd := m.findRound(r); rd != nil && rd.hasC {
+		m.est = rd.gotC
 		m.ts = r
 		m.replied = true
 		e.Send(c, fmt.Sprintf("%s|%d", tagAck, r))
@@ -232,18 +282,17 @@ func (m *CTMachine) maybeCoord(e *system.Effects) {
 		return
 	}
 	maj := m.majority()
-	if !m.sentC && len(m.ests[r]) >= maj {
+	rd := m.findRound(r)
+	if rd == nil {
+		return
+	}
+	if !m.sentC && bits.OnesCount64(rd.estMask) >= maj {
 		// Phase 2: adopt the estimate with the largest timestamp.
-		best := estTS{ts: -1}
 		// Deterministic tie-break: among equal timestamps prefer the
-		// estimate of the smallest location.
-		locs := make([]int, 0, len(m.ests[r]))
-		for l := range m.ests[r] {
-			locs = append(locs, int(l))
-		}
-		sort.Ints(locs)
-		for _, l := range locs {
-			et := m.ests[r][ioa.Loc(l)]
+		// estimate of the smallest location (ascending mask iteration).
+		best := estTS{ts: -1}
+		for mask := rd.estMask; mask != 0; mask &= mask - 1 {
+			et := rd.ests[bits.TrailingZeros64(mask)]
 			if et.ts > best.ts {
 				best = et
 			}
@@ -254,20 +303,17 @@ func (m *CTMachine) maybeCoord(e *system.Effects) {
 		e.Broadcast(m.n, fmt.Sprintf("%s|%d|%s", tagCoord, r, best.est))
 		// The coordinator is its own first participant: adopt and ack.
 		m.replied = true
-		if m.acks[r] == nil {
-			m.acks[r] = make(map[ioa.Loc]bool)
-		}
-		m.acks[r][m.self] = true
+		rd.ackMask |= 1 << uint(m.self)
 	}
 	if !m.sentC {
 		return
 	}
 	// Phase 4.
-	if len(m.acks[r]) >= maj {
+	if bits.OnesCount64(rd.ackMask) >= maj {
 		m.decide(m.est, e)
 		return
 	}
-	if len(m.acks[r])+len(m.nacks[r]) >= maj {
+	if bits.OnesCount64(rd.ackMask)+bits.OnesCount64(rd.nackMask) >= maj {
 		m.startRound(r+1, e)
 	}
 }
@@ -293,113 +339,100 @@ func (m *CTMachine) Clone() system.Machine {
 		proposed: m.proposed, est: m.est, ts: m.ts,
 		round: m.round, replied: m.replied, sentC: m.sentC,
 		decided: m.decided, decidedVal: m.decidedVal,
-		ests:  make(map[int]map[ioa.Loc]estTS, len(m.ests)),
-		acks:  make(map[int]map[ioa.Loc]bool, len(m.acks)),
-		nacks: make(map[int]map[ioa.Loc]bool, len(m.nacks)),
-		gotC:  make(map[int]string, len(m.gotC)),
 	}
-	for r, mm := range m.ests {
-		inner := make(map[ioa.Loc]estTS, len(mm))
-		for l, v := range mm {
-			inner[l] = v
+	if len(m.rounds) > 0 {
+		c.rounds = make([]ctRound, len(m.rounds))
+		copy(c.rounds, m.rounds)
+		for i := range c.rounds {
+			if c.rounds[i].ests != nil {
+				c.rounds[i].ests = append([]estTS(nil), c.rounds[i].ests...)
+			}
 		}
-		c.ests[r] = inner
-	}
-	for r, mm := range m.acks {
-		c.acks[r] = cloneLocSet(mm)
-	}
-	for r, mm := range m.nacks {
-		c.nacks[r] = cloneLocSet(mm)
-	}
-	for r, v := range m.gotC {
-		c.gotC[r] = v
 	}
 	return c
 }
 
 // Encode implements system.Machine.
-func (m *CTMachine) Encode() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "CT%v|p%t|e%s|t%d|r%d|rp%t|sc%t|d%t:%s|%s",
-		m.self, m.proposed, m.est, m.ts, m.round, m.replied, m.sentC,
-		m.decided, m.decidedVal, m.susp.Encode())
-	b.WriteString("|E")
-	encodeRoundEsts(&b, m.ests)
-	b.WriteString("|A")
-	encodeRoundSets(&b, m.acks)
-	b.WriteString("|N")
-	encodeRoundSets(&b, m.nacks)
-	b.WriteString("|C")
-	encodeRoundStrs(&b, m.gotC)
-	return b.String()
-}
+func (m *CTMachine) Encode() string { return string(m.AppendEncode(nil)) }
 
-func pruneEst(m map[int]map[ioa.Loc]estTS, min int) {
-	for r := range m {
-		if r < min {
-			delete(m, r)
+// AppendEncode implements ioa.AppendEncoder: exactly Encode()'s bytes,
+// appended without the fmt round-trips — the execution-tree explorer encodes
+// every cloned machine once per node, so this is a fingerprinting hot path.
+func (m *CTMachine) AppendEncode(dst []byte) []byte {
+	dst = append(dst, "CT"...)
+	dst = appendLoc(dst, m.self)
+	dst = append(dst, "|p"...)
+	dst = strconv.AppendBool(dst, m.proposed)
+	dst = append(dst, "|e"...)
+	dst = append(dst, m.est...)
+	dst = append(dst, "|t"...)
+	dst = strconv.AppendInt(dst, int64(m.ts), 10)
+	dst = append(dst, "|r"...)
+	dst = strconv.AppendInt(dst, int64(m.round), 10)
+	dst = append(dst, "|rp"...)
+	dst = strconv.AppendBool(dst, m.replied)
+	dst = append(dst, "|sc"...)
+	dst = strconv.AppendBool(dst, m.sentC)
+	dst = append(dst, "|d"...)
+	dst = strconv.AppendBool(dst, m.decided)
+	dst = append(dst, ':')
+	dst = append(dst, m.decidedVal...)
+	dst = append(dst, '|')
+	dst = appendSusp(dst, m.susp)
+	dst = append(dst, "|E"...)
+	for i := range m.rounds {
+		rd := &m.rounds[i]
+		if rd.estMask == 0 {
+			continue
 		}
-	}
-}
-
-func pruneSet(m map[int]map[ioa.Loc]bool, min int) {
-	for r := range m {
-		if r < min {
-			delete(m, r)
+		dst = append(dst, '[')
+		dst = strconv.AppendInt(dst, int64(rd.r), 10)
+		dst = append(dst, ':')
+		for mask := rd.estMask; mask != 0; mask &= mask - 1 {
+			l := bits.TrailingZeros64(mask)
+			et := &rd.ests[l]
+			dst = strconv.AppendInt(dst, int64(l), 10)
+			dst = append(dst, '=')
+			dst = append(dst, et.est...)
+			dst = append(dst, '/')
+			dst = strconv.AppendInt(dst, int64(et.ts), 10)
+			dst = append(dst, ';')
 		}
+		dst = append(dst, ']')
 	}
-}
-
-func pruneStr(m map[int]string, min int) {
-	for r := range m {
-		if r < min {
-			delete(m, r)
+	dst = append(dst, "|A"...)
+	dst = m.appendMaskRounds(dst, func(rd *ctRound) uint64 { return rd.ackMask })
+	dst = append(dst, "|N"...)
+	dst = m.appendMaskRounds(dst, func(rd *ctRound) uint64 { return rd.nackMask })
+	dst = append(dst, "|C"...)
+	for i := range m.rounds {
+		rd := &m.rounds[i]
+		if !rd.hasC {
+			continue
 		}
+		dst = append(dst, '[')
+		dst = strconv.AppendInt(dst, int64(rd.r), 10)
+		dst = append(dst, ':')
+		dst = append(dst, rd.gotC...)
+		dst = append(dst, ']')
 	}
+	return dst
 }
 
-func cloneLocSet(m map[ioa.Loc]bool) map[ioa.Loc]bool {
-	c := make(map[ioa.Loc]bool, len(m))
-	for l, v := range m {
-		c[l] = v
-	}
-	return c
-}
-
-func sortedRounds[T any](m map[int]T) []int {
-	rs := make([]int, 0, len(m))
-	for r := range m {
-		rs = append(rs, r)
-	}
-	sort.Ints(rs)
-	return rs
-}
-
-func encodeRoundEsts(b *strings.Builder, m map[int]map[ioa.Loc]estTS) {
-	for _, r := range sortedRounds(m) {
-		fmt.Fprintf(b, "[%d:", r)
-		inner := m[r]
-		locs := make([]int, 0, len(inner))
-		for l := range inner {
-			locs = append(locs, int(l))
+// appendMaskRounds appends "[r:{...}]" for every round whose selected mask
+// is non-empty, in ascending round order.
+func (m *CTMachine) appendMaskRounds(dst []byte, sel func(*ctRound) uint64) []byte {
+	for i := range m.rounds {
+		rd := &m.rounds[i]
+		mask := sel(rd)
+		if mask == 0 {
+			continue
 		}
-		sort.Ints(locs)
-		for _, l := range locs {
-			et := inner[ioa.Loc(l)]
-			fmt.Fprintf(b, "%d=%s/%d;", l, et.est, et.ts)
-		}
-		b.WriteByte(']')
+		dst = append(dst, '[')
+		dst = strconv.AppendInt(dst, int64(rd.r), 10)
+		dst = append(dst, ':')
+		dst = appendMaskSet(dst, mask)
+		dst = append(dst, ']')
 	}
-}
-
-func encodeRoundSets(b *strings.Builder, m map[int]map[ioa.Loc]bool) {
-	for _, r := range sortedRounds(m) {
-		fmt.Fprintf(b, "[%d:%s]", r, ioa.EncodeLocSet(m[r]))
-	}
-}
-
-func encodeRoundStrs(b *strings.Builder, m map[int]string) {
-	for _, r := range sortedRounds(m) {
-		fmt.Fprintf(b, "[%d:%s]", r, m[r])
-	}
+	return dst
 }

@@ -2,6 +2,7 @@ package consensus
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strconv"
 	"strings"
@@ -9,6 +10,20 @@ import (
 	"repro/internal/ioa"
 	"repro/internal/system"
 )
+
+// smRound is the per-round state of one phase-1 round: the senders heard
+// (gotMask) and the early messages not yet absorbed (pendMask + dense value
+// sets).  Like ctRound it replaces nested maps with flat records so the
+// explorer's per-node Clone is a couple of slice copies.  gotSeen tracks
+// that advance() touched the round — the old representation kept an empty
+// senders map in that case, and the encoding renders it as "[r:{}]".
+type smRound struct {
+	r        int
+	gotSeen  bool
+	gotMask  uint64
+	pendMask uint64
+	pend     []string // dense n slots; pendMask says which are live
+}
 
 // SMachine is the Chandra-Toueg algorithm that solves consensus using any
 // detector with perpetual weak accuracy and strong completeness (the class
@@ -38,30 +53,30 @@ type SMachine struct {
 	susp Suspector
 
 	proposed bool
-	vals     map[string]bool // V_p
-	round    int             // current phase-1 round; n..: phase 2; 0: idle
+	vals     []string // V_p, sorted distinct values
+	round    int      // current phase-1 round; n..: phase 2; 0: idle
 	phase2   bool
 
-	gotRound map[int]map[ioa.Loc]bool   // round → senders heard
-	pending  map[int]map[ioa.Loc]string // early round messages (value sets)
-	gotP2    map[ioa.Loc]string         // phase-2 sets received
-	p2Sent   bool
+	rounds []smRound // ascending by round number; never pruned
+	p2Mask uint64    // phase-2 senders heard
+	p2     []string  // dense n slots; p2Mask says which are live
+	p2Sent bool
 
 	decided    bool
 	decidedVal string
 }
 
 var _ system.Machine = (*SMachine)(nil)
+var _ ioa.AppendEncoder = (*SMachine)(nil)
 
 // NewSMachine returns the S-based consensus machine for location self of n.
+// Location sets are bitmasks, so n is capped at 64 (the repository's
+// experiments use n ≤ 32).
 func NewSMachine(n int, self ioa.Loc, susp Suspector) *SMachine {
-	return &SMachine{
-		n: n, self: self, susp: susp,
-		vals:     make(map[string]bool),
-		gotRound: make(map[int]map[ioa.Loc]bool),
-		pending:  make(map[int]map[ioa.Loc]string),
-		gotP2:    make(map[ioa.Loc]string),
+	if n > 64 {
+		panic("consensus: SMachine supports at most 64 locations")
 	}
+	return &SMachine{n: n, self: self, susp: susp}
 }
 
 // Decided reports the decision, if any.
@@ -70,13 +85,53 @@ func (m *SMachine) Decided() (string, bool) { return m.decidedVal, m.decided }
 // Round returns the current phase-1 round (n−1+1 once in phase 2).
 func (m *SMachine) Round() int { return m.round }
 
+// findRound returns the record for round r, or nil.
+func (m *SMachine) findRound(r int) *smRound {
+	for i := len(m.rounds) - 1; i >= 0; i-- {
+		if m.rounds[i].r == r {
+			return &m.rounds[i]
+		}
+		if m.rounds[i].r < r {
+			break
+		}
+	}
+	return nil
+}
+
+// roundAt returns the record for round r, inserting an empty one in
+// ascending position if absent.
+func (m *SMachine) roundAt(r int) *smRound {
+	i := len(m.rounds)
+	for i > 0 && m.rounds[i-1].r > r {
+		i--
+	}
+	if i > 0 && m.rounds[i-1].r == r {
+		return &m.rounds[i-1]
+	}
+	m.rounds = append(m.rounds, smRound{})
+	copy(m.rounds[i+1:], m.rounds[i:])
+	m.rounds[i] = smRound{r: r}
+	return &m.rounds[i]
+}
+
+// addVal inserts v into the sorted distinct value set.
+func (m *SMachine) addVal(v string) {
+	i := sort.SearchStrings(m.vals, v)
+	if i < len(m.vals) && m.vals[i] == v {
+		return
+	}
+	m.vals = append(m.vals, "")
+	copy(m.vals[i+1:], m.vals[i:])
+	m.vals[i] = v
+}
+
 // OnEnvInput implements system.Machine.
 func (m *SMachine) OnEnvInput(name, payload string, e *system.Effects) {
 	if name != system.ActNamePropose || m.proposed || m.decided {
 		return
 	}
 	m.proposed = true
-	m.vals[payload] = true
+	m.addVal(payload)
 	m.round = 1
 	if m.n == 1 {
 		m.enterPhase2(e)
@@ -109,15 +164,21 @@ func (m *SMachine) OnReceive(from ioa.Loc, msg string, e *system.Effects) {
 		if err != nil {
 			return
 		}
-		if m.pending[r] == nil {
-			m.pending[r] = make(map[ioa.Loc]string)
+		rd := m.roundAt(r)
+		if rd.pend == nil {
+			rd.pend = make([]string, m.n)
 		}
-		m.pending[r][from] = parts[2]
+		rd.pend[from] = parts[2]
+		rd.pendMask |= 1 << uint(from)
 	case "S2":
 		if len(parts) != 2 {
 			return
 		}
-		m.gotP2[from] = parts[1]
+		if m.p2 == nil {
+			m.p2 = make([]string, m.n)
+		}
+		m.p2[from] = parts[1]
+		m.p2Mask |= 1 << uint(from)
 	default:
 		return
 	}
@@ -139,15 +200,18 @@ func (m *SMachine) advance(e *system.Effects) {
 		}
 		// Phase 1, round m.round: absorb that round's messages.
 		r := m.round
-		if m.gotRound[r] == nil {
-			m.gotRound[r] = make(map[ioa.Loc]bool)
+		rd := m.roundAt(r)
+		rd.gotSeen = true
+		if rd.pendMask != 0 {
+			for mask := rd.pendMask; mask != 0; mask &= mask - 1 {
+				l := bits.TrailingZeros64(mask)
+				m.mergeVals(rd.pend[l])
+				rd.gotMask |= 1 << uint(l)
+			}
+			rd.pendMask = 0
+			rd.pend = nil
 		}
-		for from, set := range m.pending[r] {
-			m.mergeVals(set)
-			m.gotRound[r][from] = true
-		}
-		delete(m.pending, r)
-		if !m.roundSatisfied(r) {
+		if !m.roundSatisfied(rd) {
 			return
 		}
 		if r < m.n-1 {
@@ -159,13 +223,13 @@ func (m *SMachine) advance(e *system.Effects) {
 	}
 }
 
-func (m *SMachine) roundSatisfied(r int) bool {
+func (m *SMachine) roundSatisfied(rd *smRound) bool {
 	for q := 0; q < m.n; q++ {
 		l := ioa.Loc(q)
 		if l == m.self {
 			continue
 		}
-		if !m.gotRound[r][l] && !m.susp.Suspects(l) {
+		if rd.gotMask&(1<<uint(q)) == 0 && !m.susp.Suspects(l) {
 			return false
 		}
 	}
@@ -178,7 +242,7 @@ func (m *SMachine) phase2Satisfied() bool {
 		if l == m.self {
 			continue
 		}
-		if _, ok := m.gotP2[l]; !ok && !m.susp.Suspects(l) {
+		if m.p2Mask&(1<<uint(q)) == 0 && !m.susp.Suspects(l) {
 			return false
 		}
 	}
@@ -199,9 +263,12 @@ func (m *SMachine) enterPhase2(e *system.Effects) {
 
 // finish intersects the phase-2 sets and decides the minimum value.
 func (m *SMachine) finish(e *system.Effects) {
-	inter := m.vals
-	for _, enc := range m.gotP2 {
-		set := decodeVals(enc)
+	inter := make(map[string]bool, len(m.vals))
+	for _, v := range m.vals {
+		inter[v] = true
+	}
+	for mask := m.p2Mask; mask != 0; mask &= mask - 1 {
+		set := decodeVals(m.p2[bits.TrailingZeros64(mask)])
 		next := make(map[string]bool)
 		for v := range inter {
 			if set[v] {
@@ -228,8 +295,17 @@ func (m *SMachine) finish(e *system.Effects) {
 }
 
 func (m *SMachine) mergeVals(enc string) {
-	for v := range decodeVals(enc) {
-		m.vals[v] = true
+	if enc == "" {
+		return
+	}
+	for {
+		i := strings.IndexByte(enc, ',')
+		if i < 0 {
+			m.addVal(enc)
+			return
+		}
+		m.addVal(enc[:i])
+		enc = enc[i+1:]
 	}
 }
 
@@ -237,14 +313,7 @@ func (m *SMachine) roundMsg(r int) string {
 	return fmt.Sprintf("R|%d|%s", r, m.encodeVals())
 }
 
-func (m *SMachine) encodeVals() string {
-	vs := make([]string, 0, len(m.vals))
-	for v := range m.vals {
-		vs = append(vs, v)
-	}
-	sort.Strings(vs)
-	return strings.Join(vs, ",")
-}
+func (m *SMachine) encodeVals() string { return strings.Join(m.vals, ",") }
 
 func decodeVals(enc string) map[string]bool {
 	out := make(map[string]bool)
@@ -262,68 +331,95 @@ func (m *SMachine) Clone() system.Machine {
 	c := &SMachine{
 		n: m.n, self: m.self, susp: m.susp.Clone(),
 		proposed: m.proposed, round: m.round, phase2: m.phase2,
-		p2Sent: m.p2Sent, decided: m.decided, decidedVal: m.decidedVal,
-		vals:     make(map[string]bool, len(m.vals)),
-		gotRound: make(map[int]map[ioa.Loc]bool, len(m.gotRound)),
-		pending:  make(map[int]map[ioa.Loc]string, len(m.pending)),
-		gotP2:    make(map[ioa.Loc]string, len(m.gotP2)),
+		p2Mask: m.p2Mask, p2Sent: m.p2Sent,
+		decided: m.decided, decidedVal: m.decidedVal,
 	}
-	for v := range m.vals {
-		c.vals[v] = true
+	if len(m.vals) > 0 {
+		c.vals = append([]string(nil), m.vals...)
 	}
-	for r, mm := range m.gotRound {
-		inner := make(map[ioa.Loc]bool, len(mm))
-		for l, b := range mm {
-			inner[l] = b
+	if len(m.rounds) > 0 {
+		c.rounds = make([]smRound, len(m.rounds))
+		copy(c.rounds, m.rounds)
+		for i := range c.rounds {
+			if c.rounds[i].pend != nil {
+				c.rounds[i].pend = append([]string(nil), c.rounds[i].pend...)
+			}
 		}
-		c.gotRound[r] = inner
 	}
-	for r, mm := range m.pending {
-		inner := make(map[ioa.Loc]string, len(mm))
-		for l, s := range mm {
-			inner[l] = s
-		}
-		c.pending[r] = inner
-	}
-	for l, s := range m.gotP2 {
-		c.gotP2[l] = s
+	if m.p2 != nil {
+		c.p2 = append([]string(nil), m.p2...)
 	}
 	return c
 }
 
 // Encode implements system.Machine.
-func (m *SMachine) Encode() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "SM%v|p%t|r%d|p2%t:%t|d%t:%s|V%s|%s",
-		m.self, m.proposed, m.round, m.phase2, m.p2Sent,
-		m.decided, m.decidedVal, m.encodeVals(), m.susp.Encode())
-	b.WriteString("|G")
-	for _, r := range sortedRounds(m.gotRound) {
-		fmt.Fprintf(&b, "[%d:%s]", r, ioa.EncodeLocSet(m.gotRound[r]))
-	}
-	b.WriteString("|P")
-	for _, r := range sortedRounds(m.pending) {
-		fmt.Fprintf(&b, "[%d:", r)
-		locs := make([]int, 0, len(m.pending[r]))
-		for l := range m.pending[r] {
-			locs = append(locs, int(l))
+func (m *SMachine) Encode() string { return string(m.AppendEncode(nil)) }
+
+// AppendEncode implements ioa.AppendEncoder: exactly Encode()'s bytes.
+func (m *SMachine) AppendEncode(dst []byte) []byte {
+	dst = append(dst, "SM"...)
+	dst = appendLoc(dst, m.self)
+	dst = append(dst, "|p"...)
+	dst = strconv.AppendBool(dst, m.proposed)
+	dst = append(dst, "|r"...)
+	dst = strconv.AppendInt(dst, int64(m.round), 10)
+	dst = append(dst, "|p2"...)
+	dst = strconv.AppendBool(dst, m.phase2)
+	dst = append(dst, ':')
+	dst = strconv.AppendBool(dst, m.p2Sent)
+	dst = append(dst, "|d"...)
+	dst = strconv.AppendBool(dst, m.decided)
+	dst = append(dst, ':')
+	dst = append(dst, m.decidedVal...)
+	dst = append(dst, "|V"...)
+	for i, v := range m.vals {
+		if i > 0 {
+			dst = append(dst, ',')
 		}
-		sort.Ints(locs)
-		for _, l := range locs {
-			fmt.Fprintf(&b, "%d=%s;", l, m.pending[r][ioa.Loc(l)])
+		dst = append(dst, v...)
+	}
+	dst = append(dst, '|')
+	dst = appendSusp(dst, m.susp)
+	dst = append(dst, "|G"...)
+	for i := range m.rounds {
+		rd := &m.rounds[i]
+		if !rd.gotSeen {
+			continue
 		}
-		b.WriteByte(']')
+		dst = append(dst, '[')
+		dst = strconv.AppendInt(dst, int64(rd.r), 10)
+		dst = append(dst, ':')
+		dst = appendMaskSet(dst, rd.gotMask)
+		dst = append(dst, ']')
 	}
-	b.WriteString("|2")
-	locs := make([]int, 0, len(m.gotP2))
-	for l := range m.gotP2 {
-		locs = append(locs, int(l))
+	dst = append(dst, "|P"...)
+	for i := range m.rounds {
+		rd := &m.rounds[i]
+		if rd.pendMask == 0 {
+			continue
+		}
+		dst = append(dst, '[')
+		dst = strconv.AppendInt(dst, int64(rd.r), 10)
+		dst = append(dst, ':')
+		for mask := rd.pendMask; mask != 0; mask &= mask - 1 {
+			l := bits.TrailingZeros64(mask)
+			dst = strconv.AppendInt(dst, int64(l), 10)
+			dst = append(dst, '=')
+			dst = append(dst, rd.pend[l]...)
+			dst = append(dst, ';')
+		}
+		dst = append(dst, ']')
 	}
-	sort.Ints(locs)
-	for _, l := range locs {
-		fmt.Fprintf(&b, "[%d=%s]", l, m.gotP2[ioa.Loc(l)])
+	dst = append(dst, "|2"...)
+	for mask := m.p2Mask; mask != 0; mask &= mask - 1 {
+		l := bits.TrailingZeros64(mask)
+		dst = append(dst, '[')
+		dst = strconv.AppendInt(dst, int64(l), 10)
+		dst = append(dst, '=')
+		dst = append(dst, m.p2[l]...)
+		dst = append(dst, ']')
 	}
-	return b.String()
+	return dst
 }
 
 // SProcs returns the S-algorithm distributed consensus: one process per

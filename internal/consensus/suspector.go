@@ -1,7 +1,8 @@
 package consensus
 
 import (
-	"fmt"
+	"math/bits"
+	"strconv"
 
 	"repro/internal/ioa"
 )
@@ -25,8 +26,17 @@ type Suspector interface {
 
 // SetSuspector suspects exactly the locations in the last suspicion-set
 // payload received.
+//
+// The set is a 64-bit mask, not a map: consensus machines are cloned once
+// per node by the execution-tree explorer, and the suspicion set was one of
+// the per-clone map allocations that dominated its profile.  Payloads
+// naming a location outside [0, 64) — impossible for the repository's
+// detectors, whose locations are 0..n-1 with n ≤ 64, but expressible in a
+// handcrafted trace — fall back to a spill map so behavior is unchanged.
 type SetSuspector struct {
-	set map[ioa.Loc]bool
+	mask uint64
+	seen bool             // a payload has been received (distinguishes ∅ from never-updated)
+	big  map[ioa.Loc]bool // non-nil only when a payload named a location outside [0, 64)
 }
 
 var _ Suspector = (*SetSuspector)(nil)
@@ -40,30 +50,70 @@ func (s *SetSuspector) Update(a ioa.Action) {
 	if err != nil {
 		return // malformed payloads leave the suspicion state unchanged
 	}
-	s.set = set
+	s.seen = true
+	s.mask = 0
+	s.big = nil
+	for l, in := range set {
+		if !in {
+			continue
+		}
+		if l < 0 || l >= 64 {
+			s.big = set
+			s.mask = 0
+			return
+		}
+		s.mask |= 1 << uint(l)
+	}
 }
 
 // Suspects implements Suspector.
-func (s *SetSuspector) Suspects(c ioa.Loc) bool { return s.set[c] }
+func (s *SetSuspector) Suspects(c ioa.Loc) bool {
+	if s.big != nil {
+		return s.big[c]
+	}
+	return c >= 0 && c < 64 && s.mask&(1<<uint(c)) != 0
+}
 
 // Clone implements Suspector.
 func (s *SetSuspector) Clone() Suspector {
-	c := &SetSuspector{}
-	if s.set != nil {
-		c.set = make(map[ioa.Loc]bool, len(s.set))
-		for l, v := range s.set {
-			c.set[l] = v
+	c := &SetSuspector{mask: s.mask, seen: s.seen}
+	if s.big != nil {
+		c.big = make(map[ioa.Loc]bool, len(s.big))
+		for l, v := range s.big {
+			c.big[l] = v
 		}
 	}
 	return c
 }
 
 // Encode implements Suspector.
-func (s *SetSuspector) Encode() string {
-	if s.set == nil {
-		return "S:-"
+func (s *SetSuspector) Encode() string { return string(s.AppendEncode(nil)) }
+
+// AppendEncode appends exactly Encode()'s bytes (ioa.AppendEncoder).
+func (s *SetSuspector) AppendEncode(dst []byte) []byte {
+	if !s.seen {
+		return append(dst, "S:-"...)
 	}
-	return "S:" + ioa.EncodeLocSet(s.set)
+	dst = append(dst, "S:"...)
+	if s.big != nil {
+		return append(dst, ioa.EncodeLocSet(s.big)...)
+	}
+	return appendMaskSet(dst, s.mask)
+}
+
+// appendMaskSet appends the ioa.EncodeLocSet rendering of a bitmask set,
+// e.g. bits {0,2} → "{0,2}".
+func appendMaskSet(dst []byte, mask uint64) []byte {
+	dst = append(dst, '{')
+	first := true
+	for m := mask; m != 0; m &= m - 1 {
+		if !first {
+			dst = append(dst, ',')
+		}
+		first = false
+		dst = strconv.AppendInt(dst, int64(bits.TrailingZeros64(m)), 10)
+	}
+	return append(dst, '}')
 }
 
 // LeaderSuspector suspects every location other than the last Ω output.
@@ -106,7 +156,15 @@ func (s *LeaderSuspector) Clone() Suspector {
 }
 
 // Encode implements Suspector.
-func (s *LeaderSuspector) Encode() string { return fmt.Sprintf("L:%v:%t", s.leader, s.seen) }
+func (s *LeaderSuspector) Encode() string { return string(s.AppendEncode(nil)) }
+
+// AppendEncode appends exactly Encode()'s bytes (ioa.AppendEncoder).
+func (s *LeaderSuspector) AppendEncode(dst []byte) []byte {
+	dst = append(dst, "L:"...)
+	dst = appendLoc(dst, s.leader)
+	dst = append(dst, ':')
+	return strconv.AppendBool(dst, s.seen)
+}
 
 // NeverSuspector never suspects anyone — the "no failure detector"
 // degenerate adapter used by the FLP demonstrations: with it, the algorithm
@@ -126,3 +184,23 @@ func (NeverSuspector) Clone() Suspector { return NeverSuspector{} }
 
 // Encode implements Suspector.
 func (NeverSuspector) Encode() string { return "N" }
+
+// AppendEncode appends exactly Encode()'s bytes (ioa.AppendEncoder).
+func (NeverSuspector) AppendEncode(dst []byte) []byte { return append(dst, 'N') }
+
+// appendSusp appends a suspector's encoding, using its append path when it
+// has one.
+func appendSusp(dst []byte, s Suspector) []byte {
+	if ae, ok := s.(ioa.AppendEncoder); ok {
+		return ae.AppendEncode(dst)
+	}
+	return append(dst, s.Encode()...)
+}
+
+// appendLoc appends l.String() ("⊥" for NoLoc, decimal otherwise).
+func appendLoc(dst []byte, l ioa.Loc) []byte {
+	if l == ioa.NoLoc {
+		return append(dst, "⊥"...)
+	}
+	return strconv.AppendInt(dst, int64(l), 10)
+}

@@ -17,6 +17,38 @@ type AppendEncoder interface {
 // sysEncSep separates component encodings inside a System encoding.
 const sysEncSep = '\x1e'
 
+// PostFireEncoder is an optional Automaton extension for delta encoders:
+// AppendEncodePostFire appends the encoding the automaton WOULD have after
+// Fire(a) — without mutating it — and reports whether it could.  A false
+// return means the caller must fall back to Clone+Fire+Encode.  Useful for
+// automata whose Fire only dequeues (process outboxes, channel queues): the
+// successor encoding is rendered directly, skipping a deep clone.
+//
+// Contract: when ok, the appended bytes must equal Clone()+Fire(a)+Encode()
+// exactly, and the receiver must be unchanged.
+type PostFireEncoder interface {
+	AppendEncodePostFire(a Action, dst []byte) (res []byte, ok bool)
+}
+
+// PostInputEncoder is the input-side analogue of PostFireEncoder:
+// AppendEncodePostInput appends the encoding the automaton would have after
+// Input(a), without mutating it, when it can do so cheaply.
+//
+// Contract: when ok, the appended bytes must equal Clone()+Input(a)+Encode()
+// exactly, and the receiver must be unchanged.
+type PostInputEncoder interface {
+	AppendEncodePostInput(a Action, dst []byte) (res []byte, ok bool)
+}
+
+// EncSep is the byte separating component encodings inside a System
+// encoding (one automaton encoding per segment, in composition order).
+// Exposed for drivers that delta-encode a successor state by splicing
+// changed component segments into the parent's encoding; component
+// encodings normally never contain it, and splicers must verify that (a
+// clean encoding of a k-automaton system contains exactly k−1 EncSep
+// bytes) before trusting segment boundaries.
+const EncSep = sysEncSep
+
 // AppendEncode appends the canonical encoding of the composed state — the
 // same bytes Encode returns — to dst and returns the extended slice.
 // Components implementing AppendEncoder encode in place; the rest fall back

@@ -35,19 +35,72 @@ import (
 //     pre-index full-scan order, so schedules are unchanged.
 type System struct {
 	autos    []Automaton
-	tasks    []TaskRef         // flattened task list, fixed at construction
-	taskBase []int             // automaton index -> first flattened task index; len(autos)+1 entries
-	routes   map[SigKey][]int  // routing index: key -> ascending automaton indices
-	wildcard []int             // ascending indices of automata without SignatureKeys
-	fireLoc  []FireLocalized   // cached FireLocalized view per automaton, nil entries otherwise
-	ready    []uint64          // bitset over flattened task indices
-	readyAct []Action          // cached enabled action per ready task
-	dirty    []int             // scratch: automata touched by the current Apply
-	trace    []Action          // external events in order of occurrence
-	steps    int               // total events fired (including internal)
-	hidden   func(Action) bool // reclassified-as-internal predicate, may be nil
-	observer Observer          // post-Apply hook, nil when no oracle attached
-	tel      telemetry.Sink    // metric/trace sink, nil when telemetry is off
+	tasks    []TaskRef        // flattened task list, fixed at construction
+	taskBase []int            // automaton index -> first flattened task index; len(autos)+1 entries
+	routes   map[SigKey][]int // routing index: key -> ascending automaton indices
+	wildcard []int            // ascending indices of automata without SignatureKeys
+	fireLoc  []FireLocalized  // cached FireLocalized view per automaton, nil entries otherwise
+	ready    []uint64         // bitset over flattened task indices
+	readyAct []Action         // cached enabled action per ready task
+	// Per-task routing cache for the scheduler fast path (ApplyReady): the
+	// merged delivery-candidate list of readyAct's signature key, refreshed
+	// by repollOne only when the key changes.  A task's key is stable in
+	// steady state (a generator task always emits the same output key, a
+	// channel task the same receive key), so the per-event SigKey hash +
+	// routes lookup amortizes to zero.  nil on clones — execution-tree
+	// drivers apply via Apply and would pay O(tasks) to copy the cache.
+	readyKey   []SigKey
+	readyCands [][]int
+	dirty      []int             // scratch: automata touched by the current Apply
+	cands      []int             // scratch: merged delivery candidates of the current Apply
+	trace      []Action          // external events, per traceMode
+	traceMode  TraceMode         // how Apply records visible events
+	traceCap   int               // ring capacity when traceMode == TraceRing
+	traceStart int               // ring: index of the oldest retained event
+	steps      int               // total events fired (including internal)
+	hidden     func(Action) bool // reclassified-as-internal predicate, may be nil
+	observer   Observer          // post-Apply hook, nil when no oracle attached
+	tel        telemetry.Sink    // metric/trace sink, nil when telemetry is off
+	telTrace   bool              // sink's tracing plane active: format rich trace labels
+}
+
+// TraceMode selects how Apply records visible (external, un-hidden) events.
+// Routing, delivery, the ready-set, Steps, telemetry, and observers are
+// identical under every mode — only what Trace() retains differs, so a run's
+// schedule is byte-for-byte independent of its trace mode.
+type TraceMode uint8
+
+const (
+	// TraceAll retains every visible event forever (the default, and the
+	// only correct mode for checkers, golden traces, and chaos artifacts,
+	// which consume complete traces).
+	TraceAll TraceMode = iota
+	// TraceOff retains nothing.  For throughput benchmarks and drivers
+	// that maintain their own event bookkeeping: a 100k-step run no longer
+	// accumulates 100k Actions of garbage-collected history.
+	TraceOff
+	// TraceRing retains the most recent cap events in a ring, bounding
+	// steady-state heap for long-running drivers that only inspect a
+	// suffix.
+	TraceRing
+)
+
+// SetTraceMode switches the trace retention policy.  cap is the ring
+// capacity for TraceRing (values < 1 fall back to TraceAll) and ignored
+// otherwise.  Switching modes mid-run keeps the events already retained;
+// switching to TraceRing trims to the newest cap.  Clones inherit the mode.
+func (s *System) SetTraceMode(m TraceMode, cap int) {
+	if m == TraceRing && cap < 1 {
+		m = TraceAll
+	}
+	// Normalize the retained prefix so the new mode starts from a flat,
+	// in-order slice.
+	s.trace = s.Trace()
+	s.traceStart = 0
+	s.traceMode, s.traceCap = m, cap
+	if m == TraceRing && len(s.trace) > cap {
+		s.trace = append(s.trace[:0], s.trace[len(s.trace)-cap:]...)
+	}
 }
 
 // Observer is notified after every Apply, once the event's effects (owner
@@ -68,7 +121,18 @@ func (s *System) SetObserver(o Observer) { s.observer = o }
 // thousands of systems per run, and their steps would drown the trace.  The
 // disabled path is one predictable branch per Apply; instrumentation is
 // strictly read-only, so golden traces are byte-identical with a sink on.
-func (s *System) SetTelemetry(tel telemetry.Sink) { s.tel = tel }
+//
+// Whether the sink's tracing plane is active (telemetry.TraceSensing) is
+// sampled here, once: rich per-event trace labels are only formatted when
+// someone will actually export the trace ring, keeping the metrics-only
+// steady state allocation-free.
+func (s *System) SetTelemetry(tel telemetry.Sink) {
+	s.tel = tel
+	s.telTrace = false
+	if ts, ok := tel.(telemetry.TraceSensing); ok && ts.TracingActive() {
+		s.telTrace = true
+	}
+}
 
 // NewSystem composes the given automata.  It returns an error if two automata
 // share a name (composition requires uniquely named components).
@@ -102,6 +166,8 @@ func NewSystem(autos ...Automaton) (*System, error) {
 	s.taskBase[len(autos)] = len(s.tasks)
 	s.ready = make([]uint64, (len(s.tasks)+63)/64)
 	s.readyAct = make([]Action, len(s.tasks))
+	s.readyKey = make([]SigKey, len(s.tasks))
+	s.readyCands = make([][]int, len(s.tasks))
 	for ai := range autos {
 		s.repoll(ai)
 	}
@@ -164,6 +230,14 @@ func (s *System) repollOne(a Automaton, ai, idx int) {
 	if act, ok := a.Enabled(idx - s.taskBase[ai]); ok {
 		s.ready[idx>>6] |= 1 << (uint(idx) & 63)
 		s.readyAct[idx] = act
+		if s.readyCands != nil {
+			// Refresh the routing cache only on key change (a real key's
+			// Kind is non-zero, so the zero value never false-hits).
+			if k := KeyOf(act); k != s.readyKey[idx] {
+				s.readyKey[idx] = k
+				s.readyCands[idx] = s.appendCandidates(act, s.readyCands[idx][:0])
+			}
+		}
 	} else {
 		s.ready[idx>>6] &^= 1 << (uint(idx) & 63)
 		s.readyAct[idx] = Action{}
@@ -237,6 +311,35 @@ func (s *System) Step(tr TaskRef) (Action, bool) {
 // filtered through Accepts, so the delivered-to set is exactly the set the
 // full scan would find.
 func (s *System) Apply(owner int, act Action) {
+	s.cands = s.appendCandidates(act, s.cands[:0])
+	s.applyWith(owner, act, s.cands)
+}
+
+// ApplyReady fires the cached ready action of flattened task idx — the
+// (task, action) pair a scheduler just obtained from NextReady/ReadyAction —
+// through the task's cached routing candidates, skipping the per-event
+// SigKey hash and routes lookup.  Returns the fired action.  It is exactly
+// Apply(TaskAt(idx).Auto, ReadyAction(idx)); on systems without the routing
+// cache (clones) it falls back to Apply.  Only meaningful while
+// TaskReady(idx) holds.
+func (s *System) ApplyReady(idx int) Action {
+	act := s.readyAct[idx]
+	owner := s.tasks[idx].Auto
+	if s.readyCands == nil {
+		s.Apply(owner, act)
+		return act
+	}
+	// Copy out of the cache before firing: the owner's Fire re-poll may
+	// refresh this very task's cached candidate list in place.
+	s.cands = append(s.cands[:0], s.readyCands[idx]...)
+	s.applyWith(owner, act, s.cands)
+	return act
+}
+
+// applyWith is the shared Apply core; cands must be the merged delivery
+// candidates for act (appendCandidates order) and must not alias any
+// per-task cache entry.
+func (s *System) applyWith(owner int, act Action, cands []int) {
 	s.dirty = s.dirty[:0]
 	if owner >= 0 {
 		s.autos[owner].Fire(act)
@@ -253,22 +356,35 @@ func (s *System) Apply(owner int, act Action) {
 		}
 	}
 	// Each delivery appends its acceptor to s.dirty, so the delivery count
-	// falls out of the slice growth — the closure stays write-free over
-	// locals, exactly as before telemetry existed.
+	// falls out of the slice growth.  The candidate merge landed in a
+	// scratch slice (not a closure) so the steady-state apply performs no
+	// allocation at all.
 	dirtyBase := len(s.dirty)
-	s.forEachCandidate(act, func(ai int) {
+	for _, ai := range cands {
 		if ai == owner {
-			return
+			continue
 		}
 		if a := s.autos[ai]; a.Accepts(act) {
 			a.Input(act)
 			s.dirty = append(s.dirty, ai)
 		}
-	})
+	}
 	ndeliv := len(s.dirty) - dirtyBase
 	s.steps++
 	if act.Kind != KindInternal && (s.hidden == nil || !s.hidden(act)) {
-		s.trace = append(s.trace, act)
+		switch s.traceMode {
+		case TraceAll:
+			s.trace = append(s.trace, act)
+		case TraceRing:
+			if len(s.trace) < s.traceCap {
+				s.trace = append(s.trace, act)
+			} else {
+				s.trace[s.traceStart] = act
+				if s.traceStart++; s.traceStart == s.traceCap {
+					s.traceStart = 0
+				}
+			}
+		}
 	}
 	// Only the owner and the automata that consumed the input can have
 	// changed state, hence enabledness (Automaton contract: Enabled depends
@@ -294,19 +410,25 @@ func (s *System) telemetryApply(owner int, act Action, ndeliv int) {
 	}
 	if act.Kind == KindCrash {
 		s.tel.Count(telemetry.CCrashes, 1)
-		s.tel.Instant(telemetry.CatCrash, act.String(), int32(owner), int64(ndeliv))
+		// act.String() allocates; only pay for the rich label when the
+		// sink's tracing plane will actually export it.
+		name := act.Name
+		if s.telTrace {
+			name = act.String()
+		}
+		s.tel.Instant(telemetry.CatCrash, name, int32(owner), int64(ndeliv))
 	} else {
 		s.tel.Instant(telemetry.CatIOA, act.Name, int32(owner), int64(ndeliv))
 	}
 }
 
-// forEachCandidate visits the routing index's delivery candidates for act —
-// the declared-key automata for KeyOf(act) merged with the wildcard list in
-// ascending automaton order (the same visit order as the pre-index full
-// scan).  Candidates still need Accepts filtering; both Apply and the
+// appendCandidates appends the routing index's delivery candidates for act
+// to out — the declared-key automata for KeyOf(act) merged with the wildcard
+// list in ascending automaton order (the same visit order as the pre-index
+// full scan).  Candidates still need Accepts filtering; both Apply and the
 // oracle's delivery-set check go through this one merge so the checked set
 // and the executed set cannot silently diverge.
-func (s *System) forEachCandidate(act Action, f func(ai int)) {
+func (s *System) appendCandidates(act Action, out []int) []int {
 	keyed := s.routes[KeyOf(act)]
 	i, j := 0, 0
 	for i < len(keyed) || j < len(s.wildcard) {
@@ -322,18 +444,18 @@ func (s *System) forEachCandidate(act Action, f func(ai int)) {
 			ai = s.wildcard[j]
 			j++
 		}
-		f(ai)
+		out = append(out, ai)
 	}
+	return out
 }
 
-// DeliveryCandidates returns the ascending automaton indices the routing
-// index would consider for act, before Accepts filtering.  Exposed for the
-// oracle layer, which diffs this set against a first-principles scan of all
-// automata.
-func (s *System) DeliveryCandidates(act Action) []int {
-	var out []int
-	s.forEachCandidate(act, func(ai int) { out = append(out, ai) })
-	return out
+// DeliveryCandidates appends the ascending automaton indices the routing
+// index would consider for act — before Accepts filtering — to buf[:0] and
+// returns it, so a sweeping caller can reuse one buffer across sweeps
+// instead of allocating per call.  Exposed for the oracle layer, which diffs
+// this set against a first-principles scan of all automata.
+func (s *System) DeliveryCandidates(act Action, buf []int) []int {
+	return s.appendCandidates(act, buf[:0])
 }
 
 // Hide reclassifies matching actions as internal to the composition (the
@@ -350,9 +472,18 @@ func (s *System) Hide(pred func(Action) bool) {
 	s.hidden = func(a Action) bool { return prev(a) || pred(a) }
 }
 
-// Trace returns the external events recorded so far.  The returned slice is
-// owned by the System; callers must copy before mutating.
-func (s *System) Trace() []Action { return s.trace }
+// Trace returns the retained external events in order of occurrence: all of
+// them under TraceAll, the newest traceCap under TraceRing, none under
+// TraceOff.  The returned slice is owned by the System except when a wrapped
+// ring must be unrotated; callers must copy before mutating either way.
+func (s *System) Trace() []Action {
+	if s.traceMode == TraceRing && s.traceStart > 0 {
+		out := make([]Action, 0, len(s.trace))
+		out = append(out, s.trace[s.traceStart:]...)
+		return append(out, s.trace[:s.traceStart]...)
+	}
+	return s.trace
+}
 
 // Steps returns the total number of events performed, including internal.
 func (s *System) Steps() int { return s.steps }
@@ -374,14 +505,22 @@ func (s *System) cloneInto() *System {
 	for i, a := range s.autos {
 		autos[i] = a.Clone()
 	}
+	return s.cloneWith(autos)
+}
+
+// cloneWith wraps an already-built automaton list in a copy of s's
+// per-execution state.
+func (s *System) cloneWith(autos []Automaton) *System {
 	c := &System{
-		autos:    autos,
-		tasks:    s.tasks,
-		taskBase: s.taskBase,
-		routes:   s.routes,
-		wildcard: s.wildcard,
-		steps:    s.steps,
-		hidden:   s.hidden,
+		autos:     autos,
+		tasks:     s.tasks,
+		taskBase:  s.taskBase,
+		routes:    s.routes,
+		wildcard:  s.wildcard,
+		steps:     s.steps,
+		hidden:    s.hidden,
+		traceMode: s.traceMode,
+		traceCap:  s.traceCap,
 	}
 	c.fireLoc = make([]FireLocalized, len(autos))
 	for i, a := range autos {
@@ -398,6 +537,7 @@ func (s *System) cloneInto() *System {
 func (s *System) Clone() *System {
 	c := s.cloneInto()
 	c.trace = append([]Action(nil), s.trace...)
+	c.traceStart = s.traceStart
 	return c
 }
 
@@ -405,6 +545,34 @@ func (s *System) Clone() *System {
 // that maintain their own event bookkeeping (the execution tree) use this to
 // avoid O(trace) copies per node.
 func (s *System) CloneBare() *System { return s.cloneInto() }
+
+// CloneForApply returns a copy prepared for exactly one Apply(owner, act):
+// the automata that apply will mutate — the owner and every accepting
+// delivery candidate — are deep-cloned; all others are SHARED with s.
+// cands must be DeliveryCandidates(act, ...) (any superset of the accepting
+// set is safe).  The trace is empty, like CloneBare.
+//
+// Sharing is only sound when s itself will never fire another action: the
+// execution-tree explorer derives each child state from a parent system
+// that is frozen after its own derivation, so untouched automata — the
+// vast majority per event — need no copy.  Callers that cannot guarantee
+// the parent is frozen must use CloneBare.
+func (s *System) CloneForApply(owner int, act Action, cands []int) *System {
+	autos := make([]Automaton, len(s.autos))
+	copy(autos, s.autos)
+	if owner >= 0 {
+		autos[owner] = s.autos[owner].Clone()
+	}
+	for _, ai := range cands {
+		if ai == owner {
+			continue
+		}
+		if a := s.autos[ai]; a.Accepts(act) {
+			autos[ai] = a.Clone()
+		}
+	}
+	return s.cloneWith(autos)
+}
 
 // Encode returns a canonical encoding of the composed state: the automaton
 // encodings joined in composition order.  Two systems with equal Encode are

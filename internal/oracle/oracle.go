@@ -101,6 +101,13 @@ type Oracle struct {
 	events  int
 	sweeps  int
 	errs    []error
+
+	// Sweep scratch, reused across sweeps so the strided re-derivations
+	// don't allocate per event (the PR 4 <3x overhead budget is mostly
+	// sweep CPU; keeping the sweeps off the allocator keeps GC out of it).
+	candBuf []int // caller-provided buffer for DeliveryCandidates
+	refBuf  []int // first-principles delivery set
+	fastBuf []int // Accepts-filtered routing candidates
 }
 
 // Attach installs an oracle on sys via its observer hook and returns it.
@@ -222,18 +229,20 @@ func (o *Oracle) checkReadySet() {
 // the state change is sound.
 func (o *Oracle) checkDeliverySet(owner int, act ioa.Action) {
 	autos := o.sys.Automata()
-	var ref []int
+	ref := o.refBuf[:0]
 	for ai, a := range autos {
 		if ai != owner && a.Accepts(act) {
 			ref = append(ref, ai)
 		}
 	}
-	var fast []int
-	for _, ai := range o.sys.DeliveryCandidates(act) {
+	fast := o.fastBuf[:0]
+	o.candBuf = o.sys.DeliveryCandidates(act, o.candBuf)
+	for _, ai := range o.candBuf {
 		if ai != owner && autos[ai].Accepts(act) {
 			fast = append(fast, ai)
 		}
 	}
+	o.refBuf, o.fastBuf = ref, fast
 	if !equalInts(ref, fast) {
 		o.record(fmt.Errorf(
 			"oracle: event %d (%v): routing index delivers to automata %v but a full Accepts scan finds %v (oracle-delivery-set)",

@@ -200,7 +200,7 @@ func RoundRobin(sys *ioa.System, opts Options) Result {
 				}
 				continue
 			}
-			sys.Apply(tr.Auto, act)
+			sys.ApplyReady(idx)
 			fired = true
 			if opts.Telemetry != nil {
 				telemetryStep(opts.Telemetry, idx, act)
@@ -295,7 +295,7 @@ func randomCore(sys *ioa.System, rng PRNG, prio Priority, opts Options) Result {
 			return stalled(sys, gated)
 		}
 		c := ready[rng.Intn(len(ready))]
-		sys.Apply(c.tr.Auto, c.act)
+		sys.ApplyReady(c.idx)
 		if opts.Telemetry != nil {
 			telemetryStep(opts.Telemetry, c.idx, c.act)
 		}
@@ -344,7 +344,7 @@ func Drive(sys *ioa.System, s Strategy, opts Options) Result {
 		if k < 0 {
 			return Result{Steps: sys.Steps(), Reason: StopCondition}
 		}
-		sys.Apply(enabled[k].Auto, acts[k])
+		sys.ApplyReady(idxs[k])
 		if opts.Telemetry != nil {
 			telemetryStep(opts.Telemetry, idxs[k], acts[k])
 		}

@@ -15,6 +15,13 @@ func TestAppendEncodeMatchesEncode(t *testing.T) {
 	chFull.Input(ioa.Send(2, 0, "a"))
 	chFull.Input(ioa.Send(2, 0, "b|c\x1fd"))
 
+	// Lossy channels append "@sent" to their encoding; the send counter is
+	// part of state identity and must round-trip through AppendEncode too.
+	lossyNet := NewNet(NetSpec{Drop: 100, Seed: 7})
+	chLossy := NetChannels(2, lossyNet)[0].(*Channel)
+	chLossy.Input(ioa.Send(chLossy.From, chLossy.To, "m1"))
+	chLossy.Input(ioa.Send(chLossy.From, chLossy.To, "m2"))
+
 	cr := NewCrash(CrashOf(0, 2))
 	crFired := NewCrash(CrashOf(1))
 	crFired.Fire(ioa.Crash(1))
@@ -29,7 +36,7 @@ func TestAppendEncodeMatchesEncode(t *testing.T) {
 	procBusy.Input(ioa.Receive(1, 0, "hello"))
 
 	for _, a := range []ioa.Automaton{
-		ch, chFull, cr, crFired, NewCrash(NoFaults()),
+		ch, chFull, chLossy, cr, crFired, NewCrash(NoFaults()),
 		env, envFixed, envStopped, proc, procBusy,
 	} {
 		ae, ok := a.(ioa.AppendEncoder)

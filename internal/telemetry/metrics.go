@@ -97,7 +97,8 @@ type Registry struct {
 	mu     sync.Mutex
 	labels []string // task labels, set by SetTaskLabels
 
-	rec *Recorder
+	rec     *Recorder
+	tracing atomic.Bool // tracing plane requested (EnableTracing)
 }
 
 // NewRegistry returns a fresh registry with the standard histograms (channel
@@ -190,6 +191,15 @@ func (r *Registry) Hist(m Metric) *Histogram { return r.hists[m] }
 
 // Trace returns the registry's trace recorder.
 func (r *Registry) Trace() *Recorder { return r.rec }
+
+// EnableTracing marks the tracing plane as attached: an exporter (the
+// -trace.out flush, a test snapshotting the ring) will read the recorder, so
+// instrumentation sites should pay for rich trace labels.  Init calls this
+// when a trace output is requested; it is idempotent and never unset.
+func (r *Registry) EnableTracing() { r.tracing.Store(true) }
+
+// TracingActive implements TraceSensing.
+func (r *Registry) TracingActive() bool { return r.tracing.Load() }
 
 // SetTaskLabels names the slots of the per-task fire vector (typically the
 // System.TaskLabel of each flattened task, in task order) so Snapshot can

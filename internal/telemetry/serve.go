@@ -67,6 +67,7 @@ func Init(addr, traceOut string) (Sink, func(), error) {
 	}
 	flush := func() {}
 	if traceOut != "" {
+		reg.EnableTracing()
 		flush = func() {
 			f, err := os.Create(traceOut)
 			if err != nil {

@@ -185,6 +185,17 @@ type Sink interface {
 	Now() int64
 }
 
+// TraceSensing is an optional Sink extension reporting whether the tracing
+// plane is actually attached — i.e. someone intends to export the trace
+// ring.  Instrumentation sites that must *format* a label (rather than pass
+// a pre-existing string) consult it once at attach time and skip the
+// formatting when no exporter is wired, so a metrics-only sink never makes
+// the hot path allocate.  Sinks that don't implement it are treated as
+// not tracing.
+type TraceSensing interface {
+	TracingActive() bool
+}
+
 // epoch anchors the package's monotonic clock; all Recorder timestamps and
 // Sink.Now values are nanoseconds since process start.
 var epoch = time.Now()

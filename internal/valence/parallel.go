@@ -3,9 +3,11 @@ package valence
 import (
 	"bytes"
 	"context"
+	"runtime"
 	rtrace "runtime/trace"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ioa"
 	"repro/internal/telemetry"
@@ -13,15 +15,46 @@ import (
 
 // Parallel frontier exploration.
 //
-// Workers pop nodes off a shared frontier, expand them (clone + apply per
-// enabled edge, exactly as the serial path), and memoize children in a
-// sharded index keyed by the collision-checked state hash.  Discovery order
-// is scheduling-dependent, so provisional nodes carry no IDs at all; once
-// the frontier drains, a serial-BFS renumbering pass walks the recorded
-// edges — whose per-node order (FD first, then tasks by ascending label) is
+// Workers drain per-worker deques (LIFO locally, stealing from the head of
+// a victim when empty), expand nodes, and memoize children in a sharded
+// index keyed by the collision-checked state hash.  Discovery order is
+// scheduling-dependent, so provisional nodes carry no IDs at all; once the
+// frontier drains, a serial-BFS renumbering pass walks the recorded edges —
+// whose per-node order (FD first, then tasks by ascending label) is
 // deterministic — and assigns final NodeIDs in exactly the order the serial
 // explorer would have created them.  The flattened tables are therefore
 // byte-identical to the serial explorer's at any worker count.
+//
+// Unlike the serial reference, the parallel engine does not clone the full
+// system per edge.  Two structural savings make it cheaper per node even at
+// workers=1-equivalent load:
+//
+//   - Delta encoding: a child's state encoding is the parent's encoding
+//     with only the *touched* component segments replaced.  An Apply
+//     mutates exactly the owner (Fire) and the accepting delivery
+//     candidates (Input) — nothing else — so the child encoding is
+//     assembled by cloning those few automata, firing the clones, and
+//     splicing their fresh encodings between the parent's untouched
+//     segment bytes.  Duplicate children (the common case: the memo hit
+//     rate is edges/nodes ≈ 3–4) cost a couple of automaton clones
+//     instead of a full System clone + full re-encode.
+//
+//   - Deferred derivation: a new child enqueues only a derivation recipe
+//     (parent node, edge action, owner).  Its System is materialized
+//     lazily — one CloneBare+Apply at its own expansion — so each node
+//     pays exactly one full clone in its lifetime, and the frontier holds
+//     recipes (~100 B) instead of live Systems, collapsing the resident
+//     footprint of wide frontiers.  A parent's System is retained until
+//     its own expansion and all child derivations have drained
+//     (refcounted), then released.
+//
+// Delta encoding trusts the parent's segment boundaries, which are found
+// by scanning for ioa.EncSep.  A clean k-automaton encoding contains
+// exactly k−1 separator bytes; if a component encoding ever contained the
+// separator the count would exceed k−1, and that node's expansion falls
+// back to the full clone-and-encode path (splices *into* such an encoding
+// are still byte-correct — segments are only ever copied verbatim or
+// replaced whole — so correctness never depends on the fallback firing).
 
 const shardBits = 7 // 128 shards
 
@@ -30,9 +63,21 @@ const shardBits = 7 // 128 shards
 type pnode struct {
 	enc   []byte // interned encoding (chunk-stable, see shardArena)
 	fd    int32
-	final int32       // final NodeID; -1 until renumbered
-	sys   *ioa.System // retained until expanded
-	edges []pedge     // out-edges in deterministic per-node order
+	final int32 // final NodeID; -1 until renumbered
+
+	// Derivation recipe: sys is nil until expansion for delta-discovered
+	// nodes, and derived then as parent.sys.CloneBare()+Apply(powner, pact).
+	// Nodes discovered on the fallback path carry sys directly.
+	parent *pnode
+	pact   ioa.Action
+	powner int32
+
+	// kids is the retain count of sys: 1 for the node's own expansion plus
+	// one per child still waiting to derive from it.
+	kids atomic.Int32
+
+	sys   *ioa.System
+	edges []pedge // out-edges in deterministic per-node order
 }
 
 type pedge struct {
@@ -67,75 +112,60 @@ type shard struct {
 	arena shardArena
 }
 
-// pqueue is the shared frontier: LIFO (reduces resident frontier size;
-// order is irrelevant thanks to renumbering) with inflight-count
-// termination detection.
-type pqueue struct {
-	mu       sync.Mutex
-	cond     sync.Cond
-	items    []*pnode
-	inflight int
-	stopped  bool
-	tel      telemetry.Sink // frontier-width gauges, nil when telemetry is off
+// wdeque is one worker's frontier deque.  The owner pushes and pops at the
+// tail (LIFO keeps parent→child chains local, so a child usually derives
+// while its parent's System is cache-warm); thieves take a batch from the
+// head, the oldest — hence shallowest, largest-subtree — nodes.
+type wdeque struct {
+	mu    sync.Mutex
+	items []*pnode
 }
 
-func (q *pqueue) push(n *pnode) {
-	q.mu.Lock()
-	q.items = append(q.items, n)
-	if q.tel != nil {
-		f := int64(len(q.items))
-		q.tel.SetGauge(telemetry.GValenceFrontier, f)
-		q.tel.GaugeMax(telemetry.GValenceFrontierPeak, f)
+func (d *wdeque) pushBatch(ns []*pnode) {
+	d.mu.Lock()
+	d.items = append(d.items, ns...)
+	d.mu.Unlock()
+}
+
+func (d *wdeque) popTail() *pnode {
+	d.mu.Lock()
+	n := len(d.items)
+	if n == 0 {
+		d.mu.Unlock()
+		return nil
 	}
-	q.cond.Signal()
-	q.mu.Unlock()
+	it := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	d.mu.Unlock()
+	return it
 }
 
-// pop blocks until an item is available; returns false when exploration is
-// over (frontier empty with no expansion in flight, or stopped).
-func (q *pqueue) pop() (*pnode, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for {
-		if q.stopped {
-			return nil, false
-		}
-		if n := len(q.items); n > 0 {
-			it := q.items[n-1]
-			q.items = q.items[:n-1]
-			q.inflight++
-			if q.tel != nil {
-				q.tel.SetGauge(telemetry.GValenceFrontier, int64(n-1))
-			}
-			return it, true
-		}
-		if q.inflight == 0 {
-			return nil, false
-		}
-		q.cond.Wait()
+// stealHalf moves roughly half the deque (from the head) into out and
+// returns the extended slice.
+func (d *wdeque) stealHalf(out []*pnode) []*pnode {
+	d.mu.Lock()
+	n := len(d.items)
+	if n == 0 {
+		d.mu.Unlock()
+		return out
 	}
-}
-
-func (q *pqueue) finish() {
-	q.mu.Lock()
-	q.inflight--
-	if q.inflight == 0 && len(q.items) == 0 {
-		q.cond.Broadcast()
+	take := (n + 1) / 2
+	out = append(out, d.items[:take]...)
+	rest := copy(d.items, d.items[take:])
+	for i := rest; i < n; i++ {
+		d.items[i] = nil
 	}
-	q.mu.Unlock()
-}
-
-func (q *pqueue) stop() {
-	q.mu.Lock()
-	q.stopped = true
-	q.cond.Broadcast()
-	q.mu.Unlock()
+	d.items = d.items[:rest]
+	d.mu.Unlock()
+	return out
 }
 
 type parExplorer struct {
 	e      *Explorer
 	shards []shard
-	queue  pqueue
+	deques []wdeque
+	work   atomic.Int64 // nodes created but not yet expanded (termination)
 	nodes  atomic.Int64
 	edges  atomic.Int64
 	cancel atomic.Bool
@@ -147,35 +177,46 @@ type parExplorer struct {
 	progNext int64
 }
 
+// wstate is one worker's scratch: reused buffers so the steady-state
+// expansion allocates only the automaton clones the delta encoder fires.
+type wstate struct {
+	id     int
+	buf    []byte   // child encoding assembly
+	segs   []int    // parent segment start offsets (k+1 entries)
+	cands  []int    // DeliveryCandidates scratch
+	kidsNw []*pnode // children discovered by the current expansion
+	loot   []*pnode // steal batch scratch
+}
+
 func (p *parExplorer) fail(err error) {
 	p.errOnce.Do(func() { p.err = err })
 	p.cancel.Store(true)
-	p.queue.stop()
 }
 
 func (e *Explorer) exploreParallel(workers int) error {
 	p := &parExplorer{
 		e:        e,
 		shards:   make([]shard, 1<<shardBits),
+		deques:   make([]wdeque, workers),
 		progNext: int64(e.cfg.progressEvery()),
 	}
 	for i := range p.shards {
 		p.shards[i].index = make(map[uint64][]*pnode)
 	}
-	p.queue.cond.L = &p.queue.mu
-	p.queue.tel = e.cfg.Telemetry
 
 	root := e.rootSys.CloneBare()
 	buf := root.AppendEncode(nil)
 	h := stateHash(buf, 0)
 	sh := &p.shards[h>>(64-shardBits)]
-	rn := &pnode{enc: sh.arena.put(buf), final: -1, sys: root}
+	rn := &pnode{enc: sh.arena.put(buf), final: -1, powner: -1, sys: root}
+	rn.kids.Store(1)
 	sh.index[h] = append(sh.index[h], rn)
 	p.nodes.Store(1)
+	p.work.Store(1)
 	if tel := e.cfg.Telemetry; tel != nil {
 		tel.Count(telemetry.CValenceNodes, 1) // the root; link() counts the rest
 	}
-	p.queue.push(rn)
+	p.deques[0].items = []*pnode{rn}
 
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -198,64 +239,243 @@ func (e *Explorer) exploreParallel(workers int) error {
 	return nil
 }
 
-// worker drains the frontier.  Each worker's lifetime is a runtime/trace
-// region, so a `go test -trace` / pprof capture shows the pool's shape; with
-// a telemetry sink attached it additionally records per-expansion spans on
-// virtual thread id+1 and accumulates busy time for the utilization metric
-// (CWorkerBusyNs / (GValenceWorkers × wall)).
+// worker drains its own deque tail-first and steals from peers when empty.
+// Exploration is over when the global work count (created-but-unexpanded
+// nodes) reaches zero: at that point every deque is empty and no expansion
+// that could push more is in flight.  Each worker's lifetime is a
+// runtime/trace region; with a telemetry sink attached it additionally
+// records per-expansion spans on virtual thread id+1 and accumulates busy
+// time for the utilization metric (CWorkerBusyNs / (GValenceWorkers × wall)).
 func (p *parExplorer) worker(id int) {
 	defer rtrace.StartRegion(context.Background(), "valence.worker").End()
 	tel := p.e.cfg.Telemetry
-	var buf []byte
+	ws := &wstate{id: id}
+	idle := 0
 	for {
-		n, ok := p.queue.pop()
-		if !ok {
+		if p.cancel.Load() {
 			return
 		}
+		n := p.deques[id].popTail()
+		if n == nil {
+			n = p.steal(ws)
+		}
+		if n == nil {
+			if p.work.Load() == 0 {
+				return
+			}
+			// Someone is still expanding and may publish work; back off
+			// politely (poll, no condvar: the publish side is lock-light
+			// and wakeups would cost more than the naps).
+			if idle++; idle < 8 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(20 * time.Microsecond)
+			}
+			continue
+		}
+		idle = 0
 		if tel != nil {
 			t0 := tel.Now()
-			buf = p.expand(n, buf)
+			p.expand(n, ws)
 			tel.Count(telemetry.CWorkerBusyNs, tel.Now()-t0)
 			tel.Count(telemetry.CValenceExpansions, 1)
 			tel.Span(telemetry.CatValence, "expand", t0, int32(id+1), int64(len(n.edges)))
 		} else {
-			buf = p.expand(n, buf)
+			p.expand(n, ws)
 		}
-		p.queue.finish()
+		p.work.Add(-1)
 	}
 }
 
-// expand mirrors the serial expansion exactly: FD edge first, then tasks in
-// label order; ⊥ edges omitted.
-func (p *parExplorer) expand(n *pnode, buf []byte) []byte {
-	sys := n.sys
-	n.sys = nil
-	if p.cancel.Load() {
-		return buf
+// steal takes a batch from the first non-empty peer deque, keeps the batch
+// on the worker's own deque, and returns one node to expand.
+func (p *parExplorer) steal(ws *wstate) *pnode {
+	for off := 1; off < len(p.deques); off++ {
+		victim := (ws.id + off) % len(p.deques)
+		ws.loot = p.deques[victim].stealHalf(ws.loot[:0])
+		if len(ws.loot) == 0 {
+			continue
+		}
+		n := ws.loot[len(ws.loot)-1]
+		if rest := ws.loot[:len(ws.loot)-1]; len(rest) > 0 {
+			p.deques[ws.id].pushBatch(rest)
+		}
+		return n
 	}
+	return nil
+}
+
+// release drops one retain of n.sys; the last drop frees the System.
+func (p *parExplorer) release(n *pnode) {
+	if n.kids.Add(-1) == 0 {
+		n.sys = nil
+	}
+}
+
+// deriveSys materializes n's System.  Delta-discovered nodes replay their
+// recipe against the parent's retained System: a CloneForApply shares every
+// automaton the recipe's event doesn't touch with the parent — systems form
+// a persistent structure along tree edges, and each is frozen once derived
+// (expansion only reads), which is exactly CloneForApply's soundness
+// condition.  The root and fallback-path nodes already carry a System.
+func (p *parExplorer) deriveSys(n *pnode, ws *wstate) *ioa.System {
+	if n.sys != nil {
+		return n.sys
+	}
+	owner := int(n.powner)
+	psys := n.parent.sys
+	ws.cands = psys.DeliveryCandidates(n.pact, ws.cands)
+	sys := psys.CloneForApply(owner, n.pact, ws.cands)
+	sys.Apply(owner, n.pact)
+	p.release(n.parent)
+	n.sys = sys
+	return sys
+}
+
+// splitSegs records the k+1 segment start offsets of enc into ws.segs and
+// reports whether enc splits cleanly into exactly k automaton segments
+// (segment i is enc[segs[i] : segs[i+1]-1], the last runs to len(enc)).
+func splitSegs(enc []byte, k int, segs []int) ([]int, bool) {
+	segs = append(segs[:0], 0)
+	for off := 0; ; {
+		i := bytes.IndexByte(enc[off:], ioa.EncSep)
+		if i < 0 {
+			break
+		}
+		off += i + 1
+		segs = append(segs, off)
+	}
+	segs = append(segs, len(enc)+1)
+	return segs, len(segs) == k+1
+}
+
+// expand mirrors the serial expansion exactly: FD edge first, then tasks in
+// label order; ⊥ edges omitted.  Children are published to the local deque
+// in one batch after the node's System is no longer being read.
+func (p *parExplorer) expand(n *pnode, ws *wstate) {
+	sys := p.deriveSys(n, ws)
+	if p.cancel.Load() {
+		p.release(n)
+		return
+	}
+	autos := sys.Automata()
+	var delta bool
+	ws.segs, delta = splitSegs(n.enc, len(autos), ws.segs)
+	ws.kidsNw = ws.kidsNw[:0]
 	if fd := int(n.fd); fd < len(p.e.cfg.TD) {
 		act := p.e.cfg.TD[fd]
-		child := sys.CloneBare()
-		child.Apply(-1, act)
-		buf = p.link(n, LabelFD, act, child, fd+1, buf)
+		p.edge(n, sys, ws, delta, LabelFD, -1, act, fd+1)
 	}
 	for li, tr := range p.e.tasks {
 		if p.cancel.Load() {
-			return buf
+			break
 		}
 		act, ok := sys.Enabled(tr)
 		if !ok {
 			continue
 		}
-		child := sys.CloneBare()
-		child.Apply(tr.Auto, act)
-		buf = p.link(n, Label(li), act, child, int(n.fd), buf)
+		p.edge(n, sys, ws, delta, Label(li), tr.Auto, act, int(n.fd))
+	}
+	p.release(n)
+	if len(ws.kidsNw) > 0 {
+		p.deques[ws.id].pushBatch(ws.kidsNw)
+		if tel := p.e.cfg.Telemetry; tel != nil {
+			f := p.work.Load()
+			tel.SetGauge(telemetry.GValenceFrontier, f)
+			tel.GaugeMax(telemetry.GValenceFrontierPeak, f)
+		}
+	}
+}
+
+// edge computes the child encoding for one out-edge — via the delta splice
+// when the parent's segmentation is trusted, else by full clone — and links
+// it.  New delta children are recipes; new fallback children carry the
+// cloned System directly.
+func (p *parExplorer) edge(n *pnode, sys *ioa.System, ws *wstate, delta bool, l Label, owner int, act ioa.Action, fd int) {
+	if delta {
+		ws.buf = p.deltaEncode(n.enc, sys, ws, owner, act)
+		p.link(n, ws, l, act, int32(owner), fd, nil)
+		return
+	}
+	child := sys.CloneBare()
+	child.Apply(owner, act)
+	ws.buf = child.AppendEncode(ws.buf[:0])
+	p.link(n, ws, l, act, int32(owner), fd, child)
+}
+
+// deltaEncode assembles the child encoding for firing act (owner fires,
+// accepting delivery candidates consume) by splicing re-encoded touched
+// segments into the parent's untouched bytes.  Touched automata are cloned
+// and fired individually; applyWith mutates nothing else, so every other
+// segment is copied verbatim from the parent.
+func (p *parExplorer) deltaEncode(penc []byte, sys *ioa.System, ws *wstate, owner int, act ioa.Action) []byte {
+	autos := sys.Automata()
+	ws.cands = sys.DeliveryCandidates(act, ws.cands)
+	buf := ws.buf[:0]
+	ci := 0
+	for si, k := 0, len(autos); si < k; si++ {
+		if si > 0 {
+			buf = append(buf, ioa.EncSep)
+		}
+		inCands := false
+		for ci < len(ws.cands) && ws.cands[ci] < si {
+			ci++
+		}
+		if ci < len(ws.cands) && ws.cands[ci] == si {
+			inCands = true
+			ci++
+		}
+		switch {
+		case si == owner:
+			buf = appendPostFire(buf, autos[si], act)
+		case inCands && autos[si].Accepts(act):
+			buf = appendPostInput(buf, autos[si], act)
+		default:
+			buf = append(buf, penc[ws.segs[si]:ws.segs[si+1]-1]...)
+		}
 	}
 	return buf
 }
 
-func (p *parExplorer) link(from *pnode, l Label, act ioa.Action, child *ioa.System, fd int, buf []byte) []byte {
-	buf = child.AppendEncode(buf[:0])
+// appendPostFire appends a's post-Fire(act) encoding: directly when the
+// automaton can render it (queue-pop fires never move the hosted machine),
+// else by firing a throwaway clone.
+func appendPostFire(dst []byte, a ioa.Automaton, act ioa.Action) []byte {
+	if pf, ok := a.(ioa.PostFireEncoder); ok {
+		if out, ok := pf.AppendEncodePostFire(act, dst); ok {
+			return out
+		}
+	}
+	c := a.Clone()
+	c.Fire(act)
+	return appendAuto(dst, c)
+}
+
+// appendPostInput is the input-side analogue of appendPostFire.
+func appendPostInput(dst []byte, a ioa.Automaton, act ioa.Action) []byte {
+	if pi, ok := a.(ioa.PostInputEncoder); ok {
+		if out, ok := pi.AppendEncodePostInput(act, dst); ok {
+			return out
+		}
+	}
+	c := a.Clone()
+	c.Input(act)
+	return appendAuto(dst, c)
+}
+
+func appendAuto(dst []byte, a ioa.Automaton) []byte {
+	if ae, ok := a.(ioa.AppendEncoder); ok {
+		return ae.AppendEncode(dst)
+	}
+	return append(dst, a.Encode()...)
+}
+
+// link records an edge from n to the node for (ws.buf, fd), creating the
+// child if its key is new.  childSys is nil on the delta path (the new
+// child stores a derivation recipe and retains n.sys) and the materialized
+// System on the fallback path.
+func (p *parExplorer) link(n *pnode, ws *wstate, l Label, act ioa.Action, owner int32, fd int, childSys *ioa.System) {
+	buf := ws.buf
 	h := stateHash(buf, fd)
 	sh := &p.shards[h>>(64-shardBits)]
 	sh.mu.Lock()
@@ -271,12 +491,19 @@ func (p *parExplorer) link(from *pnode, l Label, act ioa.Action, child *ioa.Syst
 		if created > int64(p.e.cfg.maxNodes()) {
 			sh.mu.Unlock()
 			p.fail(&ErrStateSpaceCap{Cap: p.e.cfg.maxNodes(), Nodes: int(created - 1)})
-			return buf
+			return
 		}
-		to = &pnode{enc: sh.arena.put(buf), fd: int32(fd), final: -1, sys: child}
+		to = &pnode{enc: sh.arena.put(buf), fd: int32(fd), final: -1, powner: owner, sys: childSys}
+		to.kids.Store(1)
+		if childSys == nil {
+			to.parent = n
+			to.pact = act
+			n.kids.Add(1)
+		}
 		sh.index[h] = append(sh.index[h], to)
 		sh.mu.Unlock()
-		p.queue.push(to)
+		p.work.Add(1)
+		ws.kidsNw = append(ws.kidsNw, to)
 		if tel := p.e.cfg.Telemetry; tel != nil {
 			tel.Count(telemetry.CValenceNodes, 1)
 		}
@@ -284,12 +511,11 @@ func (p *parExplorer) link(from *pnode, l Label, act ioa.Action, child *ioa.Syst
 	} else {
 		sh.mu.Unlock()
 	}
-	from.edges = append(from.edges, pedge{label: l, act: act, to: to})
+	n.edges = append(n.edges, pedge{label: l, act: act, to: to})
 	p.edges.Add(1)
 	if tel := p.e.cfg.Telemetry; tel != nil {
 		tel.Count(telemetry.CValenceEdges, 1)
 	}
-	return buf
 }
 
 // maybeProgress serializes Progress callbacks across workers; a false return
@@ -331,20 +557,14 @@ func (e *Explorer) renumber(root *pnode, nNodes, nEdges int) {
 	n := len(order)
 	e.fdIdx = make([]int32, n)
 	e.mask = make([]uint8, n)
-	e.encOff = make([]int64, n)
-	e.encLen = make([]int32, n)
 	e.estart = make([]int64, n+1)
 	e.edges = make([]Edge, 0, nEdges)
-	var total int
-	for _, pn := range order {
-		total += len(pn.enc)
-	}
-	e.arena = make([]byte, 0, total)
+	// Adopt the interned encodings where they already live (the shard
+	// arena chunks): one slice header per node, zero byte traffic.
+	e.encs = make([][]byte, n)
 	for i, pn := range order {
 		e.fdIdx[i] = pn.fd
-		e.encOff[i] = int64(len(e.arena))
-		e.encLen[i] = int32(len(pn.enc))
-		e.arena = append(e.arena, pn.enc...)
+		e.encs[i] = pn.enc
 		e.estart[i] = int64(len(e.edges))
 		for _, ed := range pn.edges {
 			e.edges = append(e.edges, Edge{Label: ed.label, Act: ed.act, To: NodeID(ed.to.final)})

@@ -214,8 +214,13 @@ type Explorer struct {
 	mask   []uint8
 	encOff []int64
 	encLen []int32
-	// Interned state encodings: each distinct encoding stored once.
+	// Interned state encodings: each distinct encoding stored once.  The
+	// serial explorer concatenates them into arena (encOff/encLen index
+	// it); the parallel explorer instead adopts its shard arena chunks
+	// wholesale and records one slice header per node in encs — the
+	// renumbering pass then moves no encoding bytes at all.
 	arena []byte
+	encs  [][]byte
 	// CSR edge arena.
 	estart []int64
 	edges  []Edge
@@ -295,6 +300,9 @@ func (e *Explorer) NodeEncoding(id NodeID) []byte { return e.nodeEnc(id) }
 
 // nodeEnc returns node id's interned state encoding (the config tag).
 func (e *Explorer) nodeEnc(id NodeID) []byte {
+	if e.encs != nil {
+		return e.encs[id]
+	}
 	off := e.encOff[id]
 	return e.arena[off : off+int64(e.encLen[id])]
 }
