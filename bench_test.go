@@ -299,6 +299,35 @@ func BenchmarkValenceExploration(b *testing.B) {
 	}
 }
 
+// BenchmarkValenceReduced is E18: the same exploration with dynamic
+// partial-order reduction on, off for contrast, on the n=2 S-algorithm
+// crash configuration (the smallest graph where ample sets prune).  The
+// reduced variant reports how many nodes the ample sets saved.
+func BenchmarkValenceReduced(b *testing.B) {
+	for _, reduce := range []bool{false, true} {
+		b.Run(fmt.Sprintf("reduce=%t", reduce), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e, err := valence.New(valence.Config{
+					N: 2, Family: afd.FamilyP, Algo: "s",
+					TD:     valence.PerfectTD(2, 4, map[ioa.Loc]int{1: 1}),
+					Reduce: reduce,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Explore(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(e.NumNodes()), "nodes/op")
+				if reduce {
+					b.ReportMetric(float64(e.Stats().PrunedSteps), "pruned/op")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkHookSearch is E11: hook location and Theorem-59 verification.
 func BenchmarkHookSearch(b *testing.B) {
 	for _, workers := range []int{1, 0} {

@@ -81,12 +81,19 @@ type sizeResult struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
-// valenceResult is one E10 exploration-throughput row.
+// valenceResult is one E10 exploration-throughput row.  Each configuration
+// is measured unreduced and with dynamic partial-order reduction; reduced
+// rows additionally record how many enabled transitions the ample sets
+// pruned and the node-count ratio against the matching unreduced row — the
+// reduction's deterministic figure of merit, gated like throughput.
 type valenceResult struct {
-	Config  string `json:"config"`
-	Workers int    `json:"workers"` // 0 = GOMAXPROCS
-	Nodes   int    `json:"nodes"`
-	Edges   int    `json:"edges"`
+	Config            string  `json:"config"`
+	Workers           int     `json:"workers"` // 0 = GOMAXPROCS
+	Reduce            bool    `json:"reduce,omitempty"`
+	Nodes             int     `json:"nodes"`
+	Edges             int     `json:"edges"`
+	PrunedTransitions int     `json:"pruned_transitions,omitempty"`
+	ReductionRatio    float64 `json:"reduction_ratio,omitempty"` // full nodes / reduced nodes
 	repStats
 	NodesPerSec float64 `json:"nodes_per_sec"`
 }
@@ -205,17 +212,24 @@ func checkBaseline(rep report, path string, tol float64) []string {
 	for _, b := range base.Valence {
 		found := false
 		for _, v := range rep.Valence {
-			if v.Config != b.Config || v.Workers != b.Workers {
+			if v.Config != b.Config || v.Workers != b.Workers || v.Reduce != b.Reduce {
 				continue
 			}
 			found = true
 			if v.NodesPerSec < b.NodesPerSec*floor {
-				bad = append(bad, fmt.Sprintf("valence %s workers=%d: %.0f nodes/sec, baseline %.0f (-%.1f%%)",
-					b.Config, b.Workers, v.NodesPerSec, b.NodesPerSec, 100*(1-v.NodesPerSec/b.NodesPerSec)))
+				bad = append(bad, fmt.Sprintf("valence %s workers=%d reduce=%t: %.0f nodes/sec, baseline %.0f (-%.1f%%)",
+					b.Config, b.Workers, b.Reduce, v.NodesPerSec, b.NodesPerSec, 100*(1-v.NodesPerSec/b.NodesPerSec)))
+			}
+			// The reduction ratio is deterministic; any slip below the
+			// committed value means ample selection got weaker, which a pure
+			// throughput gate would miss.
+			if b.ReductionRatio > 0 && v.ReductionRatio < b.ReductionRatio*floor {
+				bad = append(bad, fmt.Sprintf("valence %s workers=%d: reduction ratio %.2fx, baseline %.2fx",
+					b.Config, b.Workers, v.ReductionRatio, b.ReductionRatio))
 			}
 		}
 		if !found {
-			bad = append(bad, fmt.Sprintf("valence %s workers=%d: missing from report", b.Config, b.Workers))
+			bad = append(bad, fmt.Sprintf("valence %s workers=%d reduce=%t: missing from report", b.Config, b.Workers, b.Reduce))
 		}
 	}
 	return bad
@@ -289,36 +303,54 @@ func main() {
 			Values: []int{-1, 1, 1}, MaxNodes: 1_500_000}},
 	}
 	for _, vc := range valenceConfigs {
-		for _, workers := range vc.workers {
-			row := valenceResult{Config: vc.name, Workers: workers}
-			var ns []int64
-			var allocs []float64
-			for r := 0; r < *reps; r++ {
-				cfg := vc.cfg
-				cfg.Workers = workers
-				e, err := valence.New(cfg)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", vc.name, err)
-					os.Exit(1)
+		// Unreduced rows run first so the reduced pass of the same config can
+		// compute its node-count ratio against them.
+		for _, reduce := range []bool{false, true} {
+			for _, workers := range vc.workers {
+				row := valenceResult{Config: vc.name, Workers: workers, Reduce: reduce}
+				var ns []int64
+				var allocs []float64
+				for r := 0; r < *reps; r++ {
+					cfg := vc.cfg
+					cfg.Workers = workers
+					cfg.Reduce = reduce
+					e, err := valence.New(cfg)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", vc.name, err)
+						os.Exit(1)
+					}
+					m0 := mallocs()
+					start := time.Now()
+					if err := e.Explore(); err != nil {
+						fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", vc.name, err)
+						os.Exit(1)
+					}
+					el := time.Since(start)
+					row.Nodes = e.NumNodes()
+					row.Edges = e.NumEdges()
+					row.PrunedTransitions = e.Stats().PrunedSteps
+					ns = append(ns, el.Nanoseconds())
+					allocs = append(allocs, float64(mallocs()-m0)/float64(e.NumNodes()))
 				}
-				m0 := mallocs()
-				start := time.Now()
-				if err := e.Explore(); err != nil {
-					fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", vc.name, err)
-					os.Exit(1)
+				row.repStats = summarize(ns, allocs)
+				row.NodesPerSec = float64(row.Nodes) / (float64(row.NsBest) / 1e9)
+				if reduce {
+					for _, full := range rep.Valence {
+						if full.Config == row.Config && !full.Reduce {
+							row.ReductionRatio = float64(full.Nodes) / float64(row.Nodes)
+							break
+						}
+					}
 				}
-				el := time.Since(start)
-				row.Nodes = e.NumNodes()
-				row.Edges = e.NumEdges()
-				ns = append(ns, el.Nanoseconds())
-				allocs = append(allocs, float64(mallocs()-m0)/float64(e.NumNodes()))
+				rep.Valence = append(rep.Valence, row)
+				extra := ""
+				if reduce {
+					extra = fmt.Sprintf(", %d pruned, %.2fx reduction", row.PrunedTransitions, row.ReductionRatio)
+				}
+				fmt.Printf("valence %-22s workers=%-3d reduce=%-5t %d nodes in %v ±%v (%.0f nodes/sec, %.1f allocs/node%s)\n",
+					row.Config, workers, reduce, row.Nodes, time.Duration(row.NsBest),
+					time.Duration(int64(row.NsStddev)), row.NodesPerSec, row.AllocsPerOp, extra)
 			}
-			row.repStats = summarize(ns, allocs)
-			row.NodesPerSec = float64(row.Nodes) / (float64(row.NsBest) / 1e9)
-			rep.Valence = append(rep.Valence, row)
-			fmt.Printf("valence %-22s workers=%-3d %d nodes in %v ±%v (%.0f nodes/sec, %.1f allocs/node)\n",
-				row.Config, workers, row.Nodes, time.Duration(row.NsBest),
-				time.Duration(int64(row.NsStddev)), row.NodesPerSec, row.AllocsPerOp)
 		}
 	}
 	snap, err := telemetrySection(reg, *steps)

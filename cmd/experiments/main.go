@@ -1,5 +1,5 @@
 // Command experiments regenerates every experiment table in EXPERIMENTS.md
-// (E1–E17 of DESIGN.md).  All runs are seeded and deterministic.
+// (E1–E18 of DESIGN.md).  All runs are seeded and deterministic.
 //
 // Usage:
 //
@@ -31,7 +31,9 @@ import (
 
 var (
 	e10MaxHooks = flag.Int("maxhooks", 200, "hook-search cap in E10-E11 (0 = all)")
-	e10Workers  = flag.Int("workers", 0, "exploration workers in E10-E11 (0 = GOMAXPROCS)")
+	e10Workers  = flag.Int("workers", 0, "exploration workers in E10-E11 and E18 (0 = GOMAXPROCS)")
+	e10Por      = flag.Bool("por", false, "run E10-E11 with dynamic partial-order reduction (E18 always reduces)")
+	e18MaxNodes = flag.Int("e18.maxnodes", 1_500_000, "node cap for the n=4 rows of E18")
 	telAddr     = flag.String("telemetry.addr", "", "serve expvar+pprof+metrics on this address (e.g. localhost:6060)")
 	traceOut    = flag.String("trace.out", "", "write a Chrome trace_event JSON file on exit (open in Perfetto)")
 
@@ -85,6 +87,7 @@ func main() {
 		{"E15", "long-lived ◇-mutex over ◇P (Lemma 20 contrast to Theorem 21)", e15Mutex},
 		{"E16", "broadcast problems: URB (§1.1) and TRB (§7.3)", e16Broadcast},
 		{"E17", "property survival under adversarial networks (relaxed §2.3 channels)", e17Survey},
+		{"E18", "partial-order reduction: pruning ratio and the n=4 hook search", e18PORHooks},
 	}
 	failed := 0
 	for _, e := range exps {
@@ -334,6 +337,7 @@ func e10Valence() error {
 	for _, c := range configs {
 		cfg := c.cfg
 		cfg.Workers = *e10Workers
+		cfg.Reduce = *e10Por
 		cfg.Telemetry = tel
 		e, err := valence.New(cfg)
 		if err != nil {
@@ -685,6 +689,86 @@ func e16Broadcast() error {
 		})
 		v := verdict((problems.TRBSpec{N: 3, Sender: 0}).Check(trb, true))
 		fmt.Printf("%-22s %-6d %-10d %-10d %-10s\n", tc.name, 3, len(tc.crash), delivers, v)
+	}
+	return nil
+}
+
+// e18PORHooks measures what dynamic partial-order reduction buys.  The n=3
+// S-algorithm configuration is explored full and reduced — identical hook
+// reports, with the measured node ratio — and then the reduced explorer
+// attempts the n=4 S-algorithm hook search, which is far beyond any
+// practical cap without reduction.  A CAP row is an honest outcome, not a
+// failure: it bounds how far the pruned frontier reaches under -e18.maxnodes.
+func e18PORHooks() error {
+	fmt.Printf("%-22s %-8s %-11s %-11s %-11s %-8s %-8s %-10s\n",
+		"config", "reduce", "nodes", "edges", "pruned", "ratio", "hooks", "verdict")
+	n3 := valence.Config{N: 3, Family: afd.FamilyP, Algo: "s",
+		TD:     valence.PerfectTD(3, 2, map[ioa.Loc]int{2: 1}),
+		Values: []int{-1, 1, 1}, MaxNodes: 1_500_000}
+	n4 := valence.Config{N: 4, Family: afd.FamilyP, Algo: "s",
+		TD:     valence.PerfectTD(4, 2, map[ioa.Loc]int{3: 1}),
+		Values: []int{-1, 1, 1, 1}, MaxNodes: *e18MaxNodes}
+	rows := []struct {
+		name   string
+		reduce bool
+		cfg    valence.Config
+	}{
+		{"n=3 S-algo, crash 2", false, n3},
+		{"n=3 S-algo, crash 2", true, n3},
+		{"n=4 S-algo, crash 3", false, n4},
+		{"n=4 S-algo, crash 3", true, n4},
+	}
+	fullNodes := 0
+	for _, r := range rows {
+		cfg := r.cfg
+		cfg.Reduce = r.reduce
+		cfg.Workers = *e10Workers
+		cfg.Telemetry = tel
+		e, err := valence.New(cfg)
+		if err != nil {
+			return err
+		}
+		onoff := "off"
+		if r.reduce {
+			onoff = "on"
+		}
+		if err := e.Explore(); err != nil {
+			var capErr *valence.ErrStateSpaceCap
+			if errors.As(err, &capErr) {
+				fmt.Printf("%-22s %-8s %-11d %-11s %-11s %-8s %-8s %-10s\n",
+					r.name, onoff, capErr.Nodes, "-", "-", "-", "-",
+					fmt.Sprintf("CAP>%d", capErr.Cap))
+				continue
+			}
+			return err
+		}
+		st := e.Stats()
+		if !r.reduce {
+			fullNodes = st.Nodes
+		}
+		ratio := "-"
+		if r.reduce && r.cfg.N == 3 && fullNodes > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(fullNodes)/float64(st.Nodes))
+		}
+		hooks := e.FindHooks(*e10MaxHooks)
+		verd := "ok"
+		for _, h := range hooks {
+			if err := e.VerifyHook(h); err != nil {
+				verd = "FAIL"
+				break
+			}
+		}
+		if err := e.CheckLemma52(); err != nil {
+			verd = "FAIL(L52)"
+		}
+		if err := e.CheckProposition50(); err != nil {
+			verd = "FAIL(P50)"
+		}
+		if st.Poisoned != 0 {
+			verd = "POISON"
+		}
+		fmt.Printf("%-22s %-8s %-11d %-11d %-11d %-8s %-8d %-10s\n",
+			r.name, onoff, st.Nodes, st.Edges, st.PrunedSteps, ratio, len(hooks), verd)
 	}
 	return nil
 }

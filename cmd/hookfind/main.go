@@ -48,6 +48,7 @@ func run() error {
 		maxNodes = flag.Int("maxnodes", 2_000_000, "node cap (exploration fails past it)")
 		maxHooks = flag.Int("maxhooks", 10, "hooks to print and verify (0 = all found)")
 		workers  = flag.Int("workers", 0, "exploration workers (0 = GOMAXPROCS)")
+		por      = flag.Bool("por", false, "dynamic partial-order reduction: prune provably equivalent interleavings (verdicts and hooks are preserved)")
 		progress = flag.Int("progress", 100_000, "print a progress line every this many nodes (0 = only on SIGINT)")
 		dot      = flag.String("dot", "", "write the explored graph as Graphviz DOT to this file")
 		telAddr  = flag.String("telemetry.addr", "", "serve expvar+pprof+metrics on this address")
@@ -134,7 +135,7 @@ func run() error {
 	e, err := valence.New(valence.Config{
 		N: *n, Family: family, Algo: *algo, TD: tD, Values: vals,
 		MaxNodes: *maxNodes, Workers: *workers, ProgressEvery: every,
-		Telemetry: tel,
+		Reduce: *por, Telemetry: tel,
 		Progress: func(p valence.Progress) bool {
 			sig := sigints.Load()
 			if *progress > 0 || sig > 0 || p.Done {
@@ -165,6 +166,11 @@ func run() error {
 		st.Nodes, st.Edges, st.FDEdges, st.DecideCut, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("valences: %d bivalent, %d 0-valent, %d 1-valent, %d unknown\n",
 		st.Bivalent, st.ZeroVal, st.OneVal, st.Unknown)
+	if *por {
+		fmt.Printf("reduction: %d reduced nodes, %d pruned steps, %d sleep hits, %d rounds, %d forced full, %d poisoned\n",
+			st.ReducedNodes, st.PrunedSteps, st.SleepHits, st.ReduceRounds,
+			st.ForcedCycle+st.ForcedBivalent, st.Poisoned)
+	}
 	fmt.Printf("root: %v\n", e.Valence(e.Root()))
 
 	if err := e.CheckLemma52(); err != nil {

@@ -82,6 +82,13 @@ func NewSMachine(n int, self ioa.Loc, susp Suspector) *SMachine {
 // Decided reports the decision, if any.
 func (m *SMachine) Decided() (string, bool) { return m.decidedVal, m.decided }
 
+// CanSend implements ioa.SendProspector: every Broadcast call site is
+// reachable only before the phase-2 set goes out (OnEnvInput requires
+// !proposed, advance's phase-1 arm requires !phase2, and enterPhase2 runs
+// once), so after p2Sent no input sequence can make the machine emit another
+// send.  deciding only outputs.
+func (m *SMachine) CanSend() bool { return !m.p2Sent }
+
 // Round returns the current phase-1 round (n−1+1 once in phase 2).
 func (m *SMachine) Round() int { return m.round }
 

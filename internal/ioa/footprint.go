@@ -1,0 +1,177 @@
+package ioa
+
+import "sort"
+
+// Per-action footprint and per-automaton site metadata, derived entirely
+// from the routing index (SigKey ownership).  The partial-order reduction
+// in package valence builds its independence relation on these: two steps
+// whose footprints are disjoint commute, and footprints can be clustered by
+// location because every delivery of an action lands on automata that
+// declared a key with that action's Loc.
+//
+// Site derivation rests on two structural facts of Signatured compositions:
+//
+//   - An automaton's declared keys name the only locations whose actions
+//     can ever be delivered to it (the routing index delivers act only to
+//     automata that declared KeyOf(act), and Accepts is a pure function of
+//     the action).  So the unique Loc over an automaton's keys — its input
+//     site — is the only location whose steps can change its state from
+//     outside.
+//
+//   - Automata either fire where they listen (processes, environments:
+//     every locally controlled action occurs at the key location), or are
+//     unidirectional FIFO channels that accept send(m, to)_from and fire
+//     receive(m, from)_to — recognizable as the only automata declaring
+//     KindSend keys, firing at the key's Peer.
+//
+// The derived fire site is a *claim*, not a proof: the valence engine
+// re-checks it against every enabled action it sees (an action enabled on a
+// task of automaton A must occur at Site(A).Fire) and falls back to full,
+// unreduced expansion for any node where the claim fails, so a composition
+// violating the convention loses reduction, never soundness.
+
+// QuiescentReporter is an optional automaton capability: Quiescent reports
+// that the automaton's state is final — it will never fire again and every
+// input leaves its state (and encoding) byte-identical.  A crashed process
+// is the canonical case.  The valence reduction uses it to prove that
+// future deliveries into a location touch only their own channel.
+type QuiescentReporter interface {
+	Quiescent() bool
+}
+
+// SendProspector is an optional automaton capability: CanSend reports
+// whether any future input sequence could lead the automaton to fire a
+// KindSend action beyond those PendingProspects already enumerates — fresh
+// sends, not the queued ones.  Automata that never send (consensus
+// environments), or whose protocol structure bounds their sends (a machine
+// past its last broadcast), return false and let the valence reduction
+// prove that a drained channel out of their location can never refill.
+// Implementations must over-approximate: returning false when some input
+// sequence could still produce a fresh send is unsound.
+type SendProspector interface {
+	CanSend() bool
+}
+
+// PendingProspect is an optional automaton capability: PendingProspects
+// calls yield for every locally controlled action the automaton might fire
+// assuming it receives no further inputs (yield returning false stops the
+// enumeration).  For a process this is its queued outbox; for an
+// environment, its still-enabled outputs.  Implementations must
+// over-approximate the reachable-without-input set; omitting a fireable
+// action is unsound, listing extra ones merely costs reduction.
+type PendingProspect interface {
+	PendingProspects(yield func(Action) bool)
+}
+
+// SiteInfo is the location metadata of one automaton of a composition.
+type SiteInfo struct {
+	// Input is the unique location of the automaton's declared input keys:
+	// the only location whose steps can write this automaton's state.
+	Input Loc
+	// Fire is the location at which the automaton's locally controlled
+	// actions occur (for KindSend-keyed automata, the key's Peer — the
+	// channel convention; otherwise equal to Input).
+	Fire Loc
+}
+
+// Sites derives per-automaton site metadata from the routing index.  It
+// reports ok=false — and the caller must not reduce — when any automaton is
+// unsited: not Signatured (wildcard routing defeats location clustering),
+// declaring no keys at all, or declaring keys at several locations.
+func (s *System) Sites() ([]SiteInfo, bool) {
+	if len(s.wildcard) > 0 {
+		return nil, false
+	}
+	sites := make([]SiteInfo, len(s.autos))
+	for i := range sites {
+		sites[i] = SiteInfo{Input: NoLoc, Fire: NoLoc}
+	}
+	for key, autos := range s.routes {
+		for _, ai := range autos {
+			st := &sites[ai]
+			if st.Input == NoLoc {
+				st.Input = key.Loc
+			} else if st.Input != key.Loc {
+				return nil, false // keys at several locations
+			}
+			if key.Kind == KindSend {
+				if st.Fire == NoLoc {
+					st.Fire = key.Peer
+				} else if st.Fire != key.Peer {
+					return nil, false // sends toward several peers
+				}
+			}
+		}
+	}
+	for i := range sites {
+		if sites[i].Input == NoLoc || sites[i].Input < 0 {
+			return nil, false // no keys, or keys at ⊥
+		}
+		if sites[i].Fire == NoLoc {
+			sites[i].Fire = sites[i].Input
+		}
+		if sites[i].Fire < 0 {
+			return nil, false
+		}
+	}
+	return sites, true
+}
+
+// ReceiveAcceptors returns, per location 0..n-1, the ascending indices of
+// the automata declaring a KindReceive key at that location — the automata
+// a cross-location channel delivery can write besides the channel itself.
+func (s *System) ReceiveAcceptors(n int) [][]int {
+	out := make([][]int, n)
+	for key, autos := range s.routes {
+		if key.Kind != KindReceive || int(key.Loc) < 0 || int(key.Loc) >= n {
+			continue
+		}
+		for _, ai := range autos {
+			seen := false
+			for _, have := range out[key.Loc] {
+				if have == ai {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				out[key.Loc] = append(out[key.Loc], ai)
+			}
+		}
+	}
+	for m := range out {
+		sort.Ints(out[m])
+	}
+	return out
+}
+
+// ActionFootprint appends to buf the ascending indices of every automaton
+// whose state may change when act fires with the given owner: the owner
+// itself (owner ≥ 0) merged with the Accepts-filtered delivery candidates.
+// This is exactly the set applyWith mutates, so two actions with disjoint
+// footprints commute byte-for-byte.  The result depends only on the
+// composition's routing index and the automata's (pure) Accepts predicates,
+// never on mutable state, so any System of the composition answers alike.
+func (s *System) ActionFootprint(owner int, act Action, buf []int) []int {
+	buf = s.appendCandidates(act, buf[:0])
+	w := 0
+	for _, ai := range buf {
+		if s.autos[ai].Accepts(act) {
+			buf[w] = ai
+			w++
+		}
+	}
+	buf = buf[:w]
+	if owner >= 0 {
+		pos := 0
+		for pos < len(buf) && buf[pos] < owner {
+			pos++
+		}
+		if pos == len(buf) || buf[pos] != owner {
+			buf = append(buf, 0)
+			copy(buf[pos+1:], buf[pos:])
+			buf[pos] = owner
+		}
+	}
+	return buf
+}

@@ -1,0 +1,254 @@
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/ioa"
+	"repro/internal/valence"
+)
+
+// DiffReduction explores a configuration twice — unreduced and with dynamic
+// partial-order reduction — and checks that reduction preserved the verdict
+// quotient the valence analysis is about:
+//
+//   - every node of the reduced graph appears in the full graph (keyed by
+//     (fd index, state encoding)) with the identical valence classification;
+//   - the bivalent node count, the root valence, and the hook reports
+//     (FindHooks, compared under graph-independent keys) are identical;
+//   - no node poisoned its site claim (the static routing metadata held);
+//   - independence justification: at every reduced (not fully expanded)
+//     node, each pruned enabled action is provably independent of every
+//     member of the chosen ample set — disjoint ActionFootprints, or the
+//     FIFO send/deliver pair on one channel with the delivery enabled.
+//
+// The justification pass replays each reduced node's concrete state along
+// the reduced graph itself and re-derives the enabled step set, so it checks
+// the engine's ample choices against the composition's actual routing index,
+// not against the reduction's own bookkeeping.
+func DiffReduction(cfg valence.Config, opts DiffOptions) error {
+	fcfg := cfg
+	fcfg.Reduce = false
+	fcfg.Workers = opts.workers()
+	fcfg.Progress = nil
+	full, err := explore(fcfg)
+	if err != nil {
+		return fmt.Errorf("oracle: full exploration: %w", err)
+	}
+	rcfg := cfg
+	rcfg.Reduce = true
+	rcfg.Workers = opts.workers()
+	rcfg.Progress = nil
+	red, err := explore(rcfg)
+	if err != nil {
+		return fmt.Errorf("oracle: reduced exploration: %w", err)
+	}
+
+	fs, rs := full.Stats(), red.Stats()
+	if rs.Nodes > fs.Nodes {
+		return fmt.Errorf("oracle: reduced graph has %d nodes, full only %d (oracle-reduce-stats)", rs.Nodes, fs.Nodes)
+	}
+	if rs.Poisoned != 0 {
+		return fmt.Errorf("oracle: %d poisoned site claims; composition metadata is wrong (oracle-reduce-poison)", rs.Poisoned)
+	}
+	if rs.Bivalent != fs.Bivalent {
+		return fmt.Errorf("oracle: bivalent count %d reduced, %d full (oracle-reduce-stats)", rs.Bivalent, fs.Bivalent)
+	}
+	if fv, rv := full.Valence(full.Root()), red.Valence(red.Root()); fv != rv {
+		return fmt.Errorf("oracle: root valence %v full, %v reduced (oracle-reduce-verdict)", fv, rv)
+	}
+
+	valences := make(map[string]valence.Valence, fs.Nodes)
+	for id := 0; id < fs.Nodes; id++ {
+		valences[quotKey(full, valence.NodeID(id))] = full.Valence(valence.NodeID(id))
+	}
+	for id := 0; id < rs.Nodes; id++ {
+		k := quotKey(red, valence.NodeID(id))
+		want, ok := valences[k]
+		if !ok {
+			return fmt.Errorf("oracle: reduced node %d (%s) absent from full graph (oracle-reduce-verdict)", id, k)
+		}
+		if got := red.Valence(valence.NodeID(id)); got != want {
+			return fmt.Errorf("oracle: node %d (%s): valence %v reduced, %v full (oracle-reduce-verdict)", id, k, got, want)
+		}
+	}
+
+	fh := hookSet(full, full.FindHooks(opts.maxHooks()))
+	rh := hookSet(red, red.FindHooks(opts.maxHooks()))
+	if len(fh) != len(rh) {
+		return fmt.Errorf("oracle: %d hooks full, %d reduced (oracle-reduce-hooks)", len(fh), len(rh))
+	}
+	for i := range fh {
+		if fh[i] != rh[i] {
+			return fmt.Errorf("oracle: hook %d differs:\n  full:    %s\n  reduced: %s (oracle-reduce-hooks)", i, fh[i], rh[i])
+		}
+	}
+
+	return verifyIndependence(cfg, red)
+}
+
+// quotKey identifies a node across differently explored graphs of the same
+// configuration.
+func quotKey(e *valence.Explorer, id valence.NodeID) string {
+	return fmt.Sprintf("%d|%s", e.NodeFD(id), e.NodeEncoding(id))
+}
+
+// hookSet renders hooks in a graph-independent, sorted form.
+func hookSet(e *valence.Explorer, hooks []valence.Hook) []string {
+	out := make([]string, 0, len(hooks))
+	for _, h := range hooks {
+		out = append(out, fmt.Sprintf("%s L=%s(%s) R=%s(%s) v=%d",
+			quotKey(e, h.Node), e.LabelName(h.L), h.LAct, e.LabelName(h.R), h.RAct, h.V))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// step is one enabled transition at a node: the owning automaton (-1 for the
+// FD edge) and its action.
+type step struct {
+	owner int
+	act   ioa.Action
+}
+
+// verifyIndependence walks the reduced graph depth-first, replaying concrete
+// states, and checks at every reduced node that each pruned enabled action
+// is independent of every ample action.  It also re-encodes each replayed
+// state and compares it against the node table, so replay drift cannot
+// silently justify the wrong state.
+func verifyIndependence(cfg valence.Config, red *valence.Explorer) error {
+	type frame struct {
+		id  valence.NodeID
+		sys *ioa.System
+		ei  int
+	}
+	visited := make([]bool, red.NumNodes())
+	var buf []byte
+	var fa, fb []int
+	stack := []frame{{id: red.Root(), sys: red.NewRootSystem()}}
+	visited[red.Root()] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.ei == 0 {
+			var err error
+			buf, fa, fb, err = checkNode(cfg, red, f.id, f.sys, buf, fa, fb)
+			if err != nil {
+				return err
+			}
+		}
+		edges := red.Edges(f.id)
+		if f.ei >= len(edges) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		ed := edges[f.ei]
+		f.ei++
+		if visited[ed.To] {
+			continue
+		}
+		visited[ed.To] = true
+		child := f.sys.CloneBare()
+		child.Apply(red.TaskOwner(ed.Label), ed.Act)
+		stack = append(stack, frame{id: ed.To, sys: child})
+	}
+	return nil
+}
+
+// checkNode verifies one replayed node: encoding fidelity, then — for
+// reduced nodes — that the pruned set is nonempty and every pruned action is
+// independent of every ample action.
+func checkNode(cfg valence.Config, red *valence.Explorer, id valence.NodeID,
+	sys *ioa.System, buf []byte, fa, fb []int) ([]byte, []int, []int, error) {
+	buf = sys.AppendEncode(buf[:0])
+	if !bytes.Equal(buf, red.NodeEncoding(id)) {
+		return buf, fa, fb, fmt.Errorf("oracle: node %d: replayed encoding %q, table %q (oracle-reduce-replay)",
+			id, buf, red.NodeEncoding(id))
+	}
+	if red.FullyExpanded(id) {
+		return buf, fa, fb, nil
+	}
+
+	edges := red.Edges(id)
+	ample := make([]step, 0, len(edges))
+	hasFDEdge := false
+	taken := make(map[valence.Label]bool, len(edges))
+	for _, ed := range edges {
+		if ed.Label == valence.LabelFD {
+			hasFDEdge = true
+		}
+		ample = append(ample, step{owner: red.TaskOwner(ed.Label), act: ed.Act})
+		taken[ed.Label] = true
+	}
+	var pruned []step
+	tasks := sys.Tasks()
+	for ti := range tasks {
+		if sys.TaskReady(ti) && !taken[valence.Label(ti)] {
+			pruned = append(pruned, step{owner: tasks[ti].Auto, act: sys.ReadyAction(ti)})
+		}
+	}
+	if fd := red.NodeFD(id); fd < len(cfg.TD) && !hasFDEdge {
+		pruned = append(pruned, step{owner: -1, act: cfg.TD[fd]})
+	}
+	if len(pruned) == 0 {
+		return buf, fa, fb, fmt.Errorf("oracle: node %d marked reduced but nothing was pruned (oracle-reduce-prune)", id)
+	}
+	for _, p := range pruned {
+		for _, a := range ample {
+			ok := false
+			ok, fa, fb = independentSteps(sys, p, a, fa, fb)
+			if !ok {
+				return buf, fa, fb, fmt.Errorf(
+					"oracle: node %d: pruned %v (owner %d) not provably independent of ample %v (owner %d) (oracle-reduce-independence)",
+					id, p.act, p.owner, a.act, a.owner)
+			}
+		}
+	}
+	return buf, fa, fb, nil
+}
+
+// independentSteps reports whether the two steps provably commute from any
+// state where both are enabled: disjoint write footprints, or the one
+// FIFO-channel exception — a send appending to exactly the channel whose
+// enabled delivery is the other step (the append cannot change the head of a
+// nonempty ring, and the pop cannot touch the sender).
+func independentSteps(sys *ioa.System, p, a step, fa, fb []int) (bool, []int, []int) {
+	fa = sys.ActionFootprint(p.owner, p.act, fa)
+	fb = sys.ActionFootprint(a.owner, a.act, fb)
+	common := -1
+	overlap := 0
+	for i, j := 0, 0; i < len(fa) && j < len(fb); {
+		switch {
+		case fa[i] < fb[j]:
+			i++
+		case fa[i] > fb[j]:
+			j++
+		default:
+			overlap++
+			common = fa[i]
+			i++
+			j++
+		}
+	}
+	if overlap == 0 {
+		return true, fa, fb
+	}
+	if overlap > 1 {
+		return false, fa, fb
+	}
+	// Single shared automaton: allow exactly the send/deliver pair on one
+	// channel, in either pruned/ample orientation.
+	send, recv := p, a
+	if send.act.Kind != ioa.KindSend {
+		send, recv = a, p
+	}
+	if send.act.Kind != ioa.KindSend || recv.act.Kind != ioa.KindReceive {
+		return false, fa, fb
+	}
+	if send.act.Peer != recv.act.Loc || send.act.Loc != recv.act.Peer {
+		return false, fa, fb
+	}
+	// The shared automaton must be the FIFO channel itself — the one that
+	// fires the delivery.
+	return common == recv.owner, fa, fb
+}

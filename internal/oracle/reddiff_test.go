@@ -1,0 +1,42 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/oracle"
+	"repro/internal/valence"
+)
+
+// TestDiffReductionClean runs the reduction differ on every E10–E11 golden
+// configuration: identical valence classifications and hook reports between
+// the reduced and unreduced explorers, plus the per-node proof that every
+// pruned action is independent of the chosen ample set.
+func TestDiffReductionClean(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  valence.Config
+	}{
+		{"omega-n2-free", valence.Config{
+			N: 2, Family: "FD-Ω", TD: valence.OmegaTD(2, 6, nil)}},
+		{"omega-n2-short", valence.Config{
+			N: 2, Family: "FD-Ω", TD: valence.OmegaTD(2, 3, nil)}},
+		{"perfect-n2-s-crash", valence.Config{
+			N: 2, Family: "FD-P", Algo: "s",
+			TD: valence.PerfectTD(2, 4, map[ioa.Loc]int{1: 1})}},
+		{"perfect-n3-s-crash", valence.Config{
+			N: 3, Family: "FD-P", Algo: "s",
+			TD:     valence.PerfectTD(3, 2, map[ioa.Loc]int{2: 1}),
+			Values: []int{-1, 1, 1}, MaxNodes: 1_500_000, Workers: 4}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.cfg.N >= 3 && testing.Short() {
+				t.Skip("n=3 differ exceeds -short budget")
+			}
+			if err := oracle.DiffReduction(tc.cfg, oracle.DiffOptions{Workers: tc.cfg.Workers}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -69,6 +69,25 @@ func (e *ConsensusEnv) Input(a ioa.Action) {
 	// decide(b)i has no effect (Algorithm 4).
 }
 
+// Quiescent implements ioa.QuiescentReporter: once stopped (proposed or
+// crashed) the environment never fires again, and every input it accepts
+// leaves its state unchanged (crash is idempotent, decide is a no-op).
+func (e *ConsensusEnv) Quiescent() bool { return e.stop }
+
+// CanSend implements ioa.SendProspector: environments never emit send
+// actions under any input sequence (their signature has none).
+func (e *ConsensusEnv) CanSend() bool { return false }
+
+// PendingProspects implements ioa.PendingProspect: the still-allowed propose
+// outputs, none once stopped.
+func (e *ConsensusEnv) PendingProspects(yield func(ioa.Action) bool) {
+	for t := 0; t < 2; t++ {
+		if a, ok := e.Enabled(t); ok && !yield(a) {
+			return
+		}
+	}
+}
+
 // NumTasks implements ioa.Automaton: Envi,0 and Envi,1.
 func (e *ConsensusEnv) NumTasks() int { return 2 }
 

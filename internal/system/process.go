@@ -129,6 +129,39 @@ func (p *Proc) ID() ioa.Loc { return p.id }
 // Failed reports whether crashi has occurred.
 func (p *Proc) Failed() bool { return p.failed }
 
+// Quiescent implements ioa.QuiescentReporter: a failed process never fires
+// again and absorbs every input without a state change.
+func (p *Proc) Quiescent() bool { return p.failed }
+
+// CanSend implements ioa.SendProspector (fresh sends only — the queued
+// outbox is what PendingProspects enumerates): a failed process never runs
+// its machine again; a live one defers to the hosted machine when it
+// declares its own send prospects, and otherwise may send in response to
+// any input.
+func (p *Proc) CanSend() bool {
+	if p.failed {
+		return false
+	}
+	if sp, ok := p.m.(ioa.SendProspector); ok {
+		return sp.CanSend()
+	}
+	return true
+}
+
+// PendingProspects implements ioa.PendingProspect: without further inputs
+// the machine runs no more handlers, so the queued outbox is exactly what
+// the process can still fire.
+func (p *Proc) PendingProspects(yield func(ioa.Action) bool) {
+	if p.failed {
+		return
+	}
+	for _, a := range p.outbox.live() {
+		if !yield(a) {
+			return
+		}
+	}
+}
+
 // MachineState exposes the hosted machine for assertions in tests.
 func (p *Proc) MachineState() Machine { return p.m }
 

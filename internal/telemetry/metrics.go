@@ -116,6 +116,7 @@ func NewRegistry() *Registry {
 		1_000_000, 4_000_000, 16_000_000, 64_000_000, 256_000_000, // 1ms .. 256ms
 	)
 	r.hists[HPartitionSteps] = NewHistogram(16, 64, 256, 1024, 4096, 16384)
+	r.hists[HAmpleSize] = NewHistogram(1, 2, 4, 8, 16, 32)
 	return r
 }
 

@@ -71,6 +71,15 @@ const (
 	// CMsgReordered counts messages swapped past their predecessor by
 	// lossy links (bounded FIFO violation).
 	CMsgReordered
+	// CValencePruned counts enabled execution-tree steps not expanded under
+	// partial-order reduction (valence.Config.Reduce).
+	CValencePruned
+	// CValenceSleepHits counts pruned steps inherited from the parent's
+	// sleep set (child kept the parent's ample cluster).
+	CValenceSleepHits
+	// CValenceReduceRounds counts reduction proviso analysis rounds (cycle
+	// and bivalent-completeness re-expansion fixpoint).
+	CValenceReduceRounds
 	// GValenceFrontier is the current exploration frontier width.
 	GValenceFrontier
 	// GValenceFrontierPeak is the high-water frontier width of the run.
@@ -89,6 +98,9 @@ const (
 	// scheduler steps (observed at heal time; permanent partitions never
 	// sample it).
 	HPartitionSteps
+	// HAmpleSize is the distribution of ample-set sizes (steps expanded) at
+	// reduced execution-tree nodes.
+	HAmpleSize
 
 	numMetrics
 )
@@ -111,6 +123,9 @@ var metricNames = [numMetrics]string{
 	CMsgDropped:          "msgs_dropped",
 	CMsgDuplicated:       "msgs_duplicated",
 	CMsgReordered:        "msgs_reordered",
+	CValencePruned:       "valence_pruned",
+	CValenceSleepHits:    "valence_sleep_hits",
+	CValenceReduceRounds: "valence_reduce_rounds",
 	GValenceFrontier:     "valence_frontier",
 	GValenceFrontierPeak: "valence_frontier_peak",
 	GValenceWorkers:      "valence_workers",
@@ -118,6 +133,7 @@ var metricNames = [numMetrics]string{
 	HChannelDepth:        "channel_depth",
 	HOracleSweepNs:       "oracle_sweep_ns",
 	HPartitionSteps:      "partition_steps",
+	HAmpleSize:           "ample_size",
 }
 
 // Name returns the metric's snapshot key.

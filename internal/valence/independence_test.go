@@ -1,0 +1,183 @@
+package valence
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/afd"
+	"repro/internal/ioa"
+)
+
+// The partial-order reduction's independence relation claims that two
+// enabled steps whose actions occur at different locations commute
+// byte-exactly — including the one cross-location overlap, a send appending
+// to the FIFO channel whose enabled delivery is the other step.  The tests
+// here fire every claimed-independent enabled pair in both orders from
+// reachable states of the golden configurations (and, in the fuzz target,
+// from adversarially chosen walks) and require byte-identical composed
+// encodings plus preserved enabledness.
+
+// indepStep is one enabled transition: its flattened task (-1 for the FD
+// edge), owning automaton (-1 for the FD edge), and action.
+type indepStep struct {
+	ti    int
+	owner int
+	act   ioa.Action
+}
+
+// enabledIndepSteps lists the FD edge (if any remains) plus every ready
+// task of sys.
+func enabledIndepSteps(sys *ioa.System, td []ioa.Action, fd int) []indepStep {
+	var out []indepStep
+	if fd < len(td) {
+		out = append(out, indepStep{ti: -1, owner: -1, act: td[fd]})
+	}
+	tasks := sys.Tasks()
+	for ti := range tasks {
+		if sys.TaskReady(ti) {
+			out = append(out, indepStep{ti: ti, owner: tasks[ti].Auto, act: sys.ReadyAction(ti)})
+		}
+	}
+	return out
+}
+
+// stillEnabled reports whether step y is enabled on sys with the identical
+// action (the FD edge is an externally driven event, always applicable).
+func stillEnabled(sys *ioa.System, y indepStep) bool {
+	if y.ti < 0 {
+		return true
+	}
+	return sys.TaskReady(y.ti) && sys.ReadyAction(y.ti) == y.act
+}
+
+// checkCommutation fires x·y and y·x from clones of sys and requires
+// preserved enabledness and byte-identical results.
+func checkCommutation(t *testing.T, sys *ioa.System, x, y indepStep) {
+	t.Helper()
+	s1 := sys.CloneBare()
+	s1.Apply(x.owner, x.act)
+	if !stillEnabled(s1, y) {
+		t.Fatalf("step %v disables claimed-independent %v", x.act, y.act)
+	}
+	s1.Apply(y.owner, y.act)
+	s2 := sys.CloneBare()
+	s2.Apply(y.owner, y.act)
+	if !stillEnabled(s2, x) {
+		t.Fatalf("step %v disables claimed-independent %v", y.act, x.act)
+	}
+	s2.Apply(x.owner, x.act)
+	e1, e2 := s1.AppendEncode(nil), s2.AppendEncode(nil)
+	if !bytes.Equal(e1, e2) {
+		t.Fatalf("claimed-independent pair does not commute:\n  x=%v y=%v\n  x·y: %s\n  y·x: %s",
+			x.act, y.act, e1, e2)
+	}
+}
+
+// checkIndependentPairs fires every claimed-independent enabled pair at sys.
+func checkIndependentPairs(t *testing.T, sys *ioa.System, td []ioa.Action, fd int) {
+	t.Helper()
+	steps := enabledIndepSteps(sys, td, fd)
+	for i := 0; i < len(steps); i++ {
+		for j := i + 1; j < len(steps); j++ {
+			if steps[i].act.Loc == steps[j].act.Loc {
+				continue // same location: dependence is expected, not claimed
+			}
+			checkCommutation(t, sys, steps[i], steps[j])
+		}
+	}
+}
+
+// TestIndependentPairsCommute replays the full execution graphs of the
+// golden E10 configurations and fires every claimed-independent pair in
+// both orders from every sampled reachable state.
+func TestIndependentPairsCommute(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		cfg    Config
+		stride int
+	}{
+		{"omega n=2 short", Config{N: 2, Family: afd.FamilyOmega, TD: OmegaTD(2, 3, nil)}, 1},
+		{"perfect s n=2 crash", Config{N: 2, Family: afd.FamilyP, Algo: "s",
+			TD: PerfectTD(2, 4, map[ioa.Loc]int{1: 1})}, 1},
+		{"perfect s n=3 crash", Config{N: 3, Family: afd.FamilyP, Algo: "s",
+			TD:     PerfectTD(3, 2, map[ioa.Loc]int{2: 1}),
+			Values: []int{-1, 1, 1}, MaxNodes: 1_500_000, Workers: 4}, 211},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.cfg.N >= 3 && testing.Short() {
+				t.Skip("n=3 replay exceeds -short budget")
+			}
+			e := explore(t, tc.cfg)
+			type frame struct {
+				id  NodeID
+				sys *ioa.System
+				ei  int
+			}
+			visited := make([]bool, e.NumNodes())
+			checked := 0
+			stack := []frame{{id: e.Root(), sys: e.NewRootSystem()}}
+			visited[e.Root()] = true
+			for len(stack) > 0 {
+				f := &stack[len(stack)-1]
+				if f.ei == 0 && int(f.id)%tc.stride == 0 {
+					checkIndependentPairs(t, f.sys, tc.cfg.TD, e.NodeFD(f.id))
+					checked++
+				}
+				edges := e.Edges(f.id)
+				if f.ei >= len(edges) {
+					stack = stack[:len(stack)-1]
+					continue
+				}
+				ed := edges[f.ei]
+				f.ei++
+				if visited[ed.To] {
+					continue
+				}
+				visited[ed.To] = true
+				child := f.sys.CloneBare()
+				child.Apply(e.TaskOwner(ed.Label), ed.Act)
+				stack = append(stack, frame{id: ed.To, sys: child})
+			}
+			if checked == 0 {
+				t.Fatal("no states sampled")
+			}
+			t.Logf("checked pairs at %d of %d states", checked, e.NumNodes())
+		})
+	}
+}
+
+// FuzzIndependentPairsCommute drives a fuzzer-chosen walk from the root of
+// the n=2 S-algorithm crash configuration and fires every
+// claimed-independent enabled pair at the reached state.
+func FuzzIndependentPairsCommute(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0, 2, 1, 0, 3})
+	f.Add([]byte{5, 4, 3, 2, 1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add(bytes.Repeat([]byte{1, 3}, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := Config{N: 2, Family: afd.FamilyP, Algo: "s",
+			TD: PerfectTD(2, 4, map[ioa.Loc]int{1: 1})}
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		sys := e.NewRootSystem()
+		fd := 0
+		if len(data) > 48 {
+			data = data[:48]
+		}
+		for _, b := range data {
+			opts := enabledIndepSteps(sys, cfg.TD, fd)
+			if len(opts) == 0 {
+				break
+			}
+			ch := opts[int(b)%len(opts)]
+			if ch.ti < 0 {
+				fd++
+			}
+			sys.Apply(ch.owner, ch.act)
+		}
+		checkIndependentPairs(t, sys, cfg.TD, fd)
+	})
+}

@@ -66,11 +66,27 @@ type pnode struct {
 	final int32 // final NodeID; -1 until renumbered
 
 	// Derivation recipe: sys is nil until expansion for delta-discovered
-	// nodes, and derived then as parent.sys.CloneBare()+Apply(powner, pact).
+	// nodes, and derived then as parent.sys.CloneForApply+Apply(powner, pact).
 	// Nodes discovered on the fallback path carry sys directly.
 	parent *pnode
 	pact   ioa.Action
 	powner int32
+
+	// Creation chain, immutable once the node is published: the first
+	// parent to discover the node, the edge action, and its owner.  Unlike
+	// the recipe above (cleared after derivation), the chain survives so a
+	// node forced to re-expand by the reduction's proviso rounds can
+	// re-derive its System by replaying root→node applies (walking cparent
+	// links only — never a mid-chain sys, which other workers may race on).
+	cparent *pnode
+	cact    ioa.Action
+	cowner  int32
+
+	// Reduction bookkeeping (meaningful only under Config.Reduce).
+	full      bool  // last expansion covered every enabled step
+	forceFull bool  // proviso rounds demand full expansion
+	site      int16 // ample site chosen at this node's expansion; -1 = full
+	pruned    int32 // steps pruned at this node's last expansion
 
 	// kids is the retain count of sys: 1 for the node's own expansion plus
 	// one per child still waiting to derive from it.
@@ -170,6 +186,12 @@ type parExplorer struct {
 	edges  atomic.Int64
 	cancel atomic.Bool
 
+	// Reduction counters (Config.Reduce only).
+	reducedN  atomic.Int64
+	prunedN   atomic.Int64
+	sleepN    atomic.Int64
+	poisonedN atomic.Int64
+
 	errOnce sync.Once
 	err     error // published by errOnce, read after workers join
 
@@ -186,6 +208,8 @@ type wstate struct {
 	cands  []int    // DeliveryCandidates scratch
 	kidsNw []*pnode // children discovered by the current expansion
 	loot   []*pnode // steal batch scratch
+	amp    ampleScratch
+	chain  []*pnode // creation-chain replay scratch (re-expansion)
 }
 
 func (p *parExplorer) fail(err error) {
@@ -208,7 +232,7 @@ func (e *Explorer) exploreParallel(workers int) error {
 	buf := root.AppendEncode(nil)
 	h := stateHash(buf, 0)
 	sh := &p.shards[h>>(64-shardBits)]
-	rn := &pnode{enc: sh.arena.put(buf), final: -1, powner: -1, sys: root}
+	rn := &pnode{enc: sh.arena.put(buf), final: -1, powner: -1, cowner: -1, site: -1, sys: root}
 	rn.kids.Store(1)
 	sh.index[h] = append(sh.index[h], rn)
 	p.nodes.Store(1)
@@ -218,6 +242,37 @@ func (e *Explorer) exploreParallel(workers int) error {
 	}
 	p.deques[0].items = []*pnode{rn}
 
+	for {
+		p.runWorkers(workers)
+		if p.err != nil {
+			return p.err
+		}
+		if e.red == nil {
+			break
+		}
+		forced, done := p.reduceAnalyze(rn)
+		if done {
+			break
+		}
+		p.queueReexpand(forced)
+	}
+	if e.cfg.Progress != nil {
+		if !e.cfg.Progress(Progress{Nodes: p.nodes.Load(), Edges: p.edges.Load(), Done: true}) {
+			return ErrCanceled
+		}
+	}
+	e.redStats.reduced = p.reducedN.Load()
+	e.redStats.pruned = p.prunedN.Load()
+	e.redStats.sleep = p.sleepN.Load()
+	e.redStats.poisoned = p.poisonedN.Load()
+	if e.red == nil {
+		e.renumber(rn, int(p.nodes.Load()), int(p.edges.Load()))
+	}
+	return nil
+}
+
+// runWorkers drains the deques with a fresh worker pool and joins it.
+func (p *parExplorer) runWorkers(workers int) {
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
@@ -227,16 +282,121 @@ func (e *Explorer) exploreParallel(workers int) error {
 		}(i)
 	}
 	wg.Wait()
-	if p.err != nil {
-		return p.err
+}
+
+// reduceAnalyze runs one proviso analysis round over the drained graph: it
+// renumbers (deterministic serial-BFS IDs over the current edge set), then
+// collects reduced nodes that violate a proviso —
+//
+//	cycle proviso: a reduced node on a task-edge cycle could postpone an
+//	enabled outside step forever; force it full so every cycle in the final
+//	graph contains a fully expanded node (classic ignoring-problem fix);
+//
+//	bivalent completeness: hook-finding (Lemmas 53–58) quantifies over *all*
+//	enabled steps of bivalent nodes, so every bivalent node must be fully
+//	expanded; forcing them full can make new nodes bivalent, hence the
+//	fixpoint loop.
+//
+// Cycle forcing runs to exhaustion before any valence is computed (masks on
+// a cyclic reduced graph could under-approximate reachability of decides).
+// When nothing is forced the tables and masks are final: done=true and the
+// engine skips the usual post-exploration propagate.
+func (p *parExplorer) reduceAnalyze(root *pnode) (forced []*pnode, done bool) {
+	e := p.e
+	e.redStats.rounds++
+	if tel := e.cfg.Telemetry; tel != nil {
+		tel.Count(telemetry.CValenceReduceRounds, 1)
 	}
-	if e.cfg.Progress != nil {
-		if !e.cfg.Progress(Progress{Nodes: p.nodes.Load(), Edges: p.edges.Load(), Done: true}) {
-			return ErrCanceled
+	order := e.renumber(root, int(p.nodes.Load()), int(p.edges.Load()))
+	for _, id := range e.taskCycleNodes() {
+		if pn := order[id]; !pn.full && !pn.forceFull {
+			pn.forceFull = true
+			forced = append(forced, pn)
 		}
 	}
-	e.renumber(rn, int(p.nodes.Load()), int(p.edges.Load()))
-	return nil
+	if len(forced) > 0 {
+		e.redStats.forcedCycle += len(forced)
+		resetFinals(order)
+		return forced, false
+	}
+	e.propagate()
+	for id, pn := range order {
+		if !pn.full && maskToValence(e.mask[id]) == ValBivalent {
+			pn.forceFull = true
+			forced = append(forced, pn)
+		}
+	}
+	if len(forced) == 0 {
+		e.propagated = true // masks just computed are final
+		e.fullbit = make([]bool, len(order))
+		for id, pn := range order {
+			e.fullbit[id] = pn.full
+		}
+		// Sleep-set hits: a reduced child reached from a reduced parent
+		// with the same ample cluster re-suppresses exactly the steps the
+		// parent's sleep set suppressed (a same-site fire touches none of
+		// them).  Computed here — not during expansion — so the count is a
+		// function of the final graph, identical at every worker count.
+		var sleep int64
+		inherited := make([]bool, len(order))
+		for id, pn := range order {
+			if pn.full {
+				continue
+			}
+			for k := e.estart[id]; k < e.estart[id+1]; k++ {
+				to := e.edges[k].To
+				tn := order[to]
+				if !tn.full && tn.site == pn.site && !inherited[to] {
+					inherited[to] = true
+					sleep += int64(tn.pruned)
+				}
+			}
+		}
+		p.sleepN.Store(sleep)
+		if tel := e.cfg.Telemetry; tel != nil {
+			tel.Count(telemetry.CValenceSleepHits, sleep)
+		}
+		return nil, true
+	}
+	e.redStats.forcedBiv += len(forced)
+	resetFinals(order)
+	return forced, false
+}
+
+func resetFinals(order []*pnode) {
+	for _, pn := range order {
+		pn.final = -1
+	}
+}
+
+// queueReexpand rewinds each forced node to unexpanded — edges cleared and
+// their counts (and the node's pruned count) rolled back — and requeues it.
+// The node's System is re-derived at expansion by replaying its creation
+// chain from the root.
+func (p *parExplorer) queueReexpand(forced []*pnode) {
+	for _, pn := range forced {
+		p.edges.Add(-int64(len(pn.edges)))
+		pn.edges = pn.edges[:0]
+		p.prunedN.Add(-int64(pn.pruned))
+		pn.pruned = 0
+		p.reducedN.Add(-1)
+		pn.parent = nil
+		pn.sys = nil
+		pn.kids.Store(1)
+	}
+	p.work.Add(int64(len(forced)))
+	per := (len(forced) + len(p.deques) - 1) / len(p.deques)
+	for i := 0; i < len(p.deques); i++ {
+		lo := i * per
+		if lo >= len(forced) {
+			break
+		}
+		hi := lo + per
+		if hi > len(forced) {
+			hi = len(forced)
+		}
+		p.deques[i].pushBatch(forced[lo:hi])
+	}
 }
 
 // worker drains its own deque tail-first and steals from peers when empty.
@@ -322,12 +482,32 @@ func (p *parExplorer) deriveSys(n *pnode, ws *wstate) *ioa.System {
 	if n.sys != nil {
 		return n.sys
 	}
+	if n.parent == nil {
+		return p.replayChain(n, ws)
+	}
 	owner := int(n.powner)
 	psys := n.parent.sys
 	ws.cands = psys.DeliveryCandidates(n.pact, ws.cands)
 	sys := psys.CloneForApply(owner, n.pact, ws.cands)
 	sys.Apply(owner, n.pact)
 	p.release(n.parent)
+	n.sys = sys
+	return sys
+}
+
+// replayChain re-derives the System of a node rewound for re-expansion by
+// the proviso rounds: replay the creation chain's applies from a fresh root
+// clone.  Only the immutable chain fields (cparent/cact/cowner) are read —
+// a mid-chain ancestor's sys may be owned by another worker.
+func (p *parExplorer) replayChain(n *pnode, ws *wstate) *ioa.System {
+	ws.chain = ws.chain[:0]
+	for m := n; m.cparent != nil; m = m.cparent {
+		ws.chain = append(ws.chain, m)
+	}
+	sys := p.e.rootSys.CloneBare()
+	for i := len(ws.chain) - 1; i >= 0; i-- {
+		sys.Apply(int(ws.chain[i].cowner), ws.chain[i].cact)
+	}
 	n.sys = sys
 	return sys
 }
@@ -362,7 +542,20 @@ func (p *parExplorer) expand(n *pnode, ws *wstate) {
 	var delta bool
 	ws.segs, delta = splitSegs(n.enc, len(autos), ws.segs)
 	ws.kidsNw = ws.kidsNw[:0]
-	if fd := int(n.fd); fd < len(p.e.cfg.TD) {
+	fd := int(n.fd)
+	if red := p.e.red; red != nil && !n.forceFull {
+		sel, verdict := red.selectAmple(sys, fd, &ws.amp)
+		if verdict == amplePoisoned {
+			p.poisonedN.Add(1)
+		}
+		if verdict == ampleReduced {
+			p.expandAmple(n, sys, ws, delta, fd, sel)
+			return
+		}
+	}
+	n.full = true
+	n.site = -1
+	if fd < len(p.e.cfg.TD) {
 		act := p.e.cfg.TD[fd]
 		p.edge(n, sys, ws, delta, LabelFD, -1, act, fd+1)
 	}
@@ -374,7 +567,47 @@ func (p *parExplorer) expand(n *pnode, ws *wstate) {
 		if !ok {
 			continue
 		}
-		p.edge(n, sys, ws, delta, Label(li), tr.Auto, act, int(n.fd))
+		p.edge(n, sys, ws, delta, Label(li), tr.Auto, act, fd)
+	}
+	p.release(n)
+	if len(ws.kidsNw) > 0 {
+		p.deques[ws.id].pushBatch(ws.kidsNw)
+		if tel := p.e.cfg.Telemetry; tel != nil {
+			f := p.work.Load()
+			tel.SetGauge(telemetry.GValenceFrontier, f)
+			tel.GaugeMax(telemetry.GValenceFrontierPeak, f)
+		}
+	}
+}
+
+// expandAmple expands only the selected ample cluster: the FD edge when the
+// next TD event occurs at the cluster's site, then the cluster's tasks in
+// ascending label order — a deterministic per-node order, so renumbering
+// stays byte-identical at any worker count.  The pruned steps form the
+// node's sleep set; children that keep the parent's cluster inherit it
+// wholesale (every step suppressed here is the same step, untouched by a
+// same-site fire, that their own selection suppresses again) — counted as
+// sleep-set hits by the final analysis pass, where the parent→child edges
+// are known deterministically.
+func (p *parExplorer) expandAmple(n *pnode, sys *ioa.System, ws *wstate, delta bool, fd int, sel ampleSel) {
+	n.full = false
+	n.site = sel.site
+	if sel.fdEdge {
+		act := p.e.cfg.TD[fd]
+		p.edge(n, sys, ws, delta, LabelFD, -1, act, fd+1)
+	}
+	for _, ti := range sel.tasks {
+		if p.cancel.Load() {
+			break
+		}
+		p.edge(n, sys, ws, delta, Label(ti), p.e.tasks[ti].Auto, sys.ReadyAction(int(ti)), fd)
+	}
+	n.pruned = sel.pruned
+	p.prunedN.Add(int64(sel.pruned))
+	p.reducedN.Add(1)
+	if tel := p.e.cfg.Telemetry; tel != nil {
+		tel.Count(telemetry.CValencePruned, int64(sel.pruned))
+		tel.Observe(telemetry.HAmpleSize, int64(sel.total-sel.pruned))
 	}
 	p.release(n)
 	if len(ws.kidsNw) > 0 {
@@ -495,6 +728,10 @@ func (p *parExplorer) link(n *pnode, ws *wstate, l Label, act ioa.Action, owner 
 		}
 		to = &pnode{enc: sh.arena.put(buf), fd: int32(fd), final: -1, powner: owner, sys: childSys}
 		to.kids.Store(1)
+		to.cparent = n
+		to.cact = act
+		to.cowner = owner
+		to.site = -1
 		if childSys == nil {
 			to.parent = n
 			to.pact = act
@@ -541,8 +778,10 @@ func (p *parExplorer) maybeProgress(created int64) {
 // flattens the provisional graph into the explorer's SoA tables.  Because
 // each node's edge list is in deterministic order and the serial explorer
 // assigns IDs in exactly first-touch BFS order, the result is identical to
-// a serial exploration.
-func (e *Explorer) renumber(root *pnode, nNodes, nEdges int) {
+// a serial exploration.  The BFS order is returned so the reduction's
+// analysis rounds can map NodeIDs back to pnodes (and reset them); callers
+// re-renumbering must resetFinals first.
+func (e *Explorer) renumber(root *pnode, nNodes, nEdges int) []*pnode {
 	order := make([]*pnode, 0, nNodes)
 	root.final = 0
 	order = append(order, root)
@@ -571,6 +810,7 @@ func (e *Explorer) renumber(root *pnode, nNodes, nEdges int) {
 		}
 	}
 	e.estart[n] = int64(len(e.edges))
+	return order
 }
 
 // Parallel valence fixpoints.

@@ -166,6 +166,19 @@ type Config struct {
 	// ProgressEvery is the node interval between Progress calls
 	// (default 50_000).
 	ProgressEvery int
+	// Reduce enables dynamic partial-order reduction: at each node the
+	// explorer expands only an ample subset of the enabled steps —
+	// a single location's cluster, chosen by the static independence
+	// relation derived from the routing index (ioa.Sites) — with a
+	// visibility/cycle/bivalence proviso so crash events, FD outputs, and
+	// decision actions are never pruned and every surviving node's valence
+	// and the hook set are identical to the unreduced graph's (the oracle's
+	// DiffReduction mode re-verifies this).  Default off; opt-in.  The
+	// reduced graph is still byte-identical at every worker count, but note
+	// Reduce routes Workers=1 through the parallel engine (the analysis
+	// rounds need its re-expansion machinery), so it composes with, rather
+	// than bypasses, the serial reference path.
+	Reduce bool
 	// Telemetry, when non-nil, receives exploration metrics — nodes/edges
 	// created (CValenceNodes/CValenceEdges), expansions, live and peak
 	// frontier width, worker count and busy time, fixpoint rounds — and
@@ -224,6 +237,18 @@ type Explorer struct {
 	// CSR edge arena.
 	estart []int64
 	edges  []Edge
+
+	// Reduction state (nil/zero unless Config.Reduce).
+	red        *reduceInfo
+	fullbit    []bool // per node: fully expanded (vs ample subset)
+	redStats   reduceCounters
+	propagated bool // analysis rounds already computed final masks
+}
+
+// reduceCounters accumulates reduction statistics during exploration.
+type reduceCounters struct {
+	reduced, pruned, sleep, poisoned int64
+	rounds, forcedCycle, forcedBiv   int
 }
 
 // New builds the root system (consensus algorithm + channels + environment,
@@ -259,6 +284,13 @@ func New(cfg Config) (*Explorer, error) {
 	for _, tr := range sys.Tasks() {
 		e.tasks = append(e.tasks, tr)
 		e.labels = append(e.labels, sys.TaskLabel(tr))
+	}
+	if cfg.Reduce {
+		red, err := buildReduceInfo(sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.red = red
 	}
 	return e, nil
 }
@@ -333,7 +365,10 @@ func (e *Explorer) Explore() error {
 	if tel := e.cfg.Telemetry; tel != nil {
 		tel.SetGauge(telemetry.GValenceWorkers, int64(w))
 	}
-	if w > 1 {
+	if w > 1 || e.red != nil {
+		// Reduction always runs on the parallel engine (its analysis rounds
+		// need the re-expansion machinery), even at Workers=1; the tables
+		// are byte-identical at every worker count either way.
 		err = e.exploreParallel(w)
 	} else {
 		err = e.exploreSerial()
@@ -342,8 +377,11 @@ func (e *Explorer) Explore() error {
 		return err
 	}
 	e.done = true
-	// Phase 2: forward and backward fixpoints of reachable decision values.
-	e.propagate()
+	// Phase 2: forward and backward fixpoints of reachable decision values
+	// (under reduction the analysis rounds already computed them).
+	if !e.propagated {
+		e.propagate()
+	}
 	if tel := e.cfg.Telemetry; tel != nil {
 		tel.SetGauge(telemetry.GValenceFrontier, 0)
 	}
@@ -614,6 +652,15 @@ type Stats struct {
 	FDEdges   int
 	MaxFDIdx  int
 	DecideCut int // edges carrying decide actions
+
+	// Reduction counters, all zero unless Config.Reduce.
+	ReducedNodes   int // nodes expanded with a proper ample subset
+	PrunedSteps    int // enabled steps not expanded, summed over reduced nodes
+	SleepHits      int // pruned steps inherited from the parent's sleep set
+	ReduceRounds   int // proviso analysis rounds run
+	ForcedCycle    int // reduced nodes forced full by the cycle proviso
+	ForcedBivalent int // reduced nodes forced full by bivalent completeness
+	Poisoned       int // expansions falling back to full on a site-claim mismatch
 }
 
 // Stats computes summary statistics (after Explore).
@@ -644,5 +691,37 @@ func (e *Explorer) Stats() Stats {
 			s.DecideCut++
 		}
 	}
+	s.ReducedNodes = int(e.redStats.reduced)
+	s.PrunedSteps = int(e.redStats.pruned)
+	s.SleepHits = int(e.redStats.sleep)
+	s.Poisoned = int(e.redStats.poisoned)
+	s.ReduceRounds = e.redStats.rounds
+	s.ForcedCycle = e.redStats.forcedCycle
+	s.ForcedBivalent = e.redStats.forcedBiv
 	return s
 }
+
+// FullyExpanded reports whether node id's out-edges cover every enabled step
+// (always true without Config.Reduce; under reduction, false exactly for the
+// nodes expanded with a proper ample subset).
+func (e *Explorer) FullyExpanded(id NodeID) bool {
+	if e.fullbit == nil {
+		return true
+	}
+	return e.fullbit[id]
+}
+
+// TaskOwner returns the index (within the composition) of the automaton
+// owning task label l, or -1 for LabelFD.  Exposed for the oracle layer's
+// reduction checker, which replays paths through a fresh system.
+func (e *Explorer) TaskOwner(l Label) int {
+	if l == LabelFD {
+		return -1
+	}
+	return e.tasks[l].Auto
+}
+
+// NewRootSystem returns a fresh clone of the composition's initial state.
+// Exposed for callers that re-derive footprints or replay explored paths
+// (the oracle's reduction checker, the commutation property test).
+func (e *Explorer) NewRootSystem() *ioa.System { return e.rootSys.CloneBare() }
