@@ -17,6 +17,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/afd"
 	"repro/internal/consensus"
@@ -60,7 +61,7 @@ func main() {
 
 func run() error {
 	var (
-		mode     = flag.String("mode", "consensus", "detector | selfimpl | consensus | kset | nbac")
+		mode     = flag.String("mode", "consensus", "detector | selfimpl | consensus | kset | nbac | live")
 		family   = flag.String("fd", afd.FamilyOmega, "failure-detector family (see afdcheck -list)")
 		n        = flag.Int("n", 3, "number of locations")
 		crash    = flag.String("crash", "", "comma-separated locations to crash")
@@ -72,6 +73,13 @@ func run() error {
 		verbose  = flag.Bool("v", false, "print every trace event")
 		telAddr  = flag.String("telemetry.addr", "", "serve expvar+pprof+metrics on this address")
 		traceOut = flag.String("trace.out", "", "write a Chrome trace_event JSON file on exit")
+
+		liveMode     = flag.Bool("live", false, "run on the live runtime (real goroutines + transport); same as -mode live")
+		liveTarget   = flag.String("target", "gossip:FD-◇Q>FD-◇P>FD-Ω", "live mode: chaos target ID")
+		transport    = flag.String("transport", "chan", "live mode: chan | tcp")
+		liveInterval = flag.Duration("live.interval", 100*time.Microsecond, "live mode: heartbeat interval")
+		liveDuration = flag.Duration("live.duration", 30*time.Second, "live mode: wall-clock budget")
+		artifactOut  = flag.String("artifact", "", "live mode: write the replayable trace.Artifact here")
 	)
 	flag.Parse()
 
@@ -86,6 +94,20 @@ func run() error {
 	plan, err := parseLocs(*crash)
 	if err != nil {
 		return err
+	}
+	if *liveMode || *mode == "live" {
+		// -steps 20000 is the simulated default; live mode sizes its step
+		// bound from the target (chaos.DefaultSteps) unless overridden.
+		liveSteps := 0
+		if *steps != 20000 {
+			liveSteps = *steps
+		}
+		liveSeed := *seed
+		if liveSeed < 0 {
+			liveSeed = 0
+		}
+		return runLive(*liveTarget, *n, plan, *transport, *liveInterval, *liveDuration,
+			liveSteps, liveSeed, *artifactOut, *verbose)
 	}
 	switch *mode {
 	case "detector":

@@ -18,7 +18,9 @@ import (
 	"time"
 
 	"repro/internal/afd"
+	"repro/internal/chaos"
 	"repro/internal/ioa"
+	"repro/internal/live"
 	"repro/internal/oracle"
 	"repro/internal/sched"
 	"repro/internal/system"
@@ -98,6 +100,28 @@ type valenceResult struct {
 	NodesPerSec float64 `json:"nodes_per_sec"`
 }
 
+// liveResult is one live-runtime row: the gossip ◇Q>◇P stack driven on real
+// goroutines over the in-process transport, with one planned crash.  Two
+// figures matter: raw event throughput (how fast the step lock serializes a
+// real concurrent execution) and the heartbeat-to-suspicion latency — the
+// wall-clock gap between the crash event and the first boosted-family output
+// suspecting the crashed location, i.e. the physical realization of the
+// failure-detector abstraction's detection time.
+type liveResult struct {
+	N            int     `json:"n"`
+	Target       string  `json:"target"`
+	Transport    string  `json:"transport"`
+	Events       int     `json:"events"`
+	NsBest       int64   `json:"ns_best"`
+	NsMean       float64 `json:"ns_mean"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Suspicion latencies in wall-clock nanoseconds, best and mean across
+	// reps; -1 when no rep realized a suspicion (never observed in practice
+	// — the checker would have rejected the run first).
+	SuspicionNsBest int64   `json:"suspicion_ns_best"`
+	SuspicionNsMean float64 `json:"suspicion_ns_mean"`
+}
+
 // report is the BENCH_pr.json schema.
 type report struct {
 	Experiment string          `json:"experiment"`
@@ -108,6 +132,11 @@ type report struct {
 	Reps       int             `json:"reps"`
 	Sizes      []sizeResult    `json:"sizes"`
 	Valence    []valenceResult `json:"valence"`
+	// Live rows are recorded for cross-PR eyeballing but deliberately NOT
+	// gated by checkBaseline: they measure wall-clock behavior of real
+	// goroutines and timers, whose variance on shared CI boxes dwarfs any
+	// tolerance a useful gate could use.
+	Live []liveResult `json:"live,omitempty"`
 	// Telemetry is a metric snapshot from one fully instrumented pass (E1
 	// n=8 with an attached differential oracle, plus one telemetered valence
 	// exploration) run AFTER the timed reps above, so the timings stay
@@ -137,6 +166,92 @@ func run(n, steps int) (events int, elapsed time.Duration, allocs uint64, err er
 	start := time.Now()
 	sched.RoundRobin(sys, sched.Options{MaxSteps: steps})
 	return sys.Steps(), time.Since(start), mallocs() - m0, nil
+}
+
+// liveSuspicion scans a stamped live trace for the wall-clock nanoseconds
+// between the crash event and the first family output whose suspect set
+// contains the crashed location, returning -1 when the trace has no such
+// pair.
+func liveSuspicion(res live.Result, family string) int64 {
+	crashAt := int64(-1)
+	var crashed ioa.Loc
+	for i, a := range res.Trace {
+		if a.Kind == ioa.KindCrash {
+			crashAt = res.Stamps[i]
+			crashed = a.Loc
+			continue
+		}
+		if crashAt < 0 || a.Kind != ioa.KindFD || a.Name != family {
+			continue
+		}
+		set, err := ioa.DecodeLocSet(a.Payload)
+		if err == nil && set[crashed] {
+			return res.Stamps[i] - crashAt
+		}
+	}
+	return -1
+}
+
+// liveRow measures one live-runtime row: reps full live executions of the
+// gossip ◇Q>◇P stack at size n on the in-process transport, each crashing
+// location n-1 shortly after start, each checker-judged and replay-validated
+// (a row from an invalid execution would be meaningless).
+func liveRow(n, reps int) (liveResult, error) {
+	target, err := chaos.ParseTarget("gossip:" + afd.FamilyEvQ + ">" + afd.FamilyEvP)
+	if err != nil {
+		return liveResult{}, err
+	}
+	row := liveResult{N: n, Target: target.ID(), Transport: "chan", SuspicionNsBest: -1}
+	var ns, lat []int64
+	for r := 0; r < reps; r++ {
+		rep, err := live.RunTarget(live.RunSpec{
+			Target: target,
+			N:      n,
+			Plan:   system.CrashOf(ioa.Loc(n - 1)),
+			Opts: live.Options{
+				Seed:     int64(r + 1),
+				MaxSteps: chaos.DefaultSteps(n),
+				Duration: 10 * time.Second,
+			},
+		})
+		if err != nil {
+			return row, err
+		}
+		if rep.VerdictErr != nil {
+			return row, fmt.Errorf("live n=%d rep %d: checker rejected: %w", n, r, rep.VerdictErr)
+		}
+		if rep.ReplayErr != nil {
+			return row, fmt.Errorf("live n=%d rep %d: replay diverged: %w", n, r, rep.ReplayErr)
+		}
+		res := rep.Result
+		row.Events = res.Steps
+		ns = append(ns, res.Elapsed.Nanoseconds())
+		if l := liveSuspicion(res, afd.FamilyEvP); l >= 0 {
+			lat = append(lat, l)
+		}
+	}
+	row.NsBest = ns[0]
+	var sum float64
+	for _, v := range ns {
+		if v < row.NsBest {
+			row.NsBest = v
+		}
+		sum += float64(v)
+	}
+	row.NsMean = sum / float64(len(ns))
+	row.EventsPerSec = float64(row.Events) / (float64(row.NsBest) / 1e9)
+	if len(lat) > 0 {
+		row.SuspicionNsBest = lat[0]
+		var lsum float64
+		for _, v := range lat {
+			if v < row.SuspicionNsBest {
+				row.SuspicionNsBest = v
+			}
+			lsum += float64(v)
+		}
+		row.SuspicionNsMean = lsum / float64(len(lat))
+	}
+	return row, nil
 }
 
 // telemetrySection performs the single instrumented pass feeding the
@@ -352,6 +467,17 @@ func main() {
 					time.Duration(int64(row.NsStddev)), row.NodesPerSec, row.AllocsPerOp, extra)
 			}
 		}
+	}
+	for _, n := range []int{4, 8, 16, 32} {
+		row, err := liveRow(n, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: live n=%d: %v\n", n, err)
+			os.Exit(1)
+		}
+		rep.Live = append(rep.Live, row)
+		fmt.Printf("live n=%-3d %d events in %v (%.0f events/sec, suspicion %.2fms best / %.2fms mean)\n",
+			n, row.Events, time.Duration(row.NsBest), row.EventsPerSec,
+			float64(row.SuspicionNsBest)/1e6, row.SuspicionNsMean/1e6)
 	}
 	snap, err := telemetrySection(reg, *steps)
 	if err != nil {

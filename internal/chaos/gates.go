@@ -146,6 +146,13 @@ func GatesFromParams(m map[string]int) GateSpec {
 // no gating at all.  Gates must be compiled once per run: the crash-release
 // counter and delivery-delay table are per-execution state.
 //
+// Concurrency (audited for the live backend): compiled gates and their
+// veto log are intentionally sim-only — unsynchronized state consulted
+// from a single scheduler loop.  The live backend never compiles gates:
+// its timing adversary is the transport (delay, partition) and its loss
+// adversary is the channels' own NetSpec, both of which are safe under the
+// runtime's step lock.
+//
 // tel, when non-nil, receives the partition life cycle: GPartitionActive
 // flips to 1 when the partition engages and back to 0 at heal, when the
 // healed duration is also sampled into HPartitionSteps.  The observer gate

@@ -1,0 +1,214 @@
+package live
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/ioa"
+)
+
+// TCPTransport carries delivery signals over real loopback TCP sockets: one
+// listener, one connection per source location (dialed lazily on first
+// send), length-prefixed frames.  The authoritative message queue remains
+// the channel automaton inside the shared composition — the socket carries
+// a copy of the payload so the bytes genuinely cross the kernel's stack and
+// arrival timing is real network timing — which is what keeps the one-
+// implementation-two-backends contract intact while exercising a real
+// wire.  Partitions are enforced on the receive side: frames for cross-side
+// links are parked until the partition heals, exactly like ChanTransport.
+type TCPTransport struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	deliver func(Link)
+	conns   map[ioa.Loc]*bufio.Writer // per-source dialed connection
+	raw     []net.Conn
+	mask    uint64
+	held    map[Link]int
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCPTransport binds a loopback listener.  Bind failures are ErrInfra.
+func NewTCPTransport() (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, Infra(err)
+	}
+	return &TCPTransport{ln: ln, conns: make(map[ioa.Loc]*bufio.Writer), held: make(map[Link]int)}, nil
+}
+
+// Addr returns the listener address frames travel through.
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// Start implements Transport: install the callback and accept reader
+// connections for the life of the transport.
+func (t *TCPTransport) Start(deliver func(Link)) error {
+	t.mu.Lock()
+	t.deliver = deliver
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			conn, err := t.ln.Accept()
+			if err != nil {
+				return // listener closed by Stop
+			}
+			t.mu.Lock()
+			if t.stopped {
+				t.mu.Unlock()
+				conn.Close()
+				return
+			}
+			t.raw = append(t.raw, conn)
+			t.mu.Unlock()
+			t.wg.Add(1)
+			go t.read(conn)
+		}
+	}()
+	return nil
+}
+
+// frame is [from int32][to int32][len uint32][payload].
+func writeFrame(w *bufio.Writer, l Link, payload string) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(int32(l.From)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(int32(l.To)))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readFrame(r *bufio.Reader) (Link, string, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Link{}, "", err
+	}
+	l := Link{
+		From: ioa.Loc(int32(binary.BigEndian.Uint32(hdr[0:]))),
+		To:   ioa.Loc(int32(binary.BigEndian.Uint32(hdr[4:]))),
+	}
+	n := binary.BigEndian.Uint32(hdr[8:])
+	if n > 1<<20 {
+		return Link{}, "", fmt.Errorf("live: tcp frame payload %d bytes exceeds bound", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Link{}, "", err
+	}
+	return l, string(buf), nil
+}
+
+// read drains one sender connection, handing each frame to the runtime.
+func (t *TCPTransport) read(conn net.Conn) {
+	defer t.wg.Done()
+	br := bufio.NewReader(conn)
+	for {
+		l, _, err := readFrame(br)
+		if err != nil {
+			return // EOF or closed by Stop
+		}
+		t.fire(l)
+	}
+}
+
+// fire mirrors ChanTransport.fire: park cross-side signals, hand the rest
+// to the runtime outside the transport lock.
+func (t *TCPTransport) fire(l Link) {
+	t.mu.Lock()
+	if t.stopped || t.deliver == nil {
+		t.mu.Unlock()
+		return
+	}
+	if crossSide(t.mask, l) {
+		t.held[l]++
+		t.mu.Unlock()
+		return
+	}
+	deliver := t.deliver
+	t.mu.Unlock()
+	deliver(l)
+}
+
+// Send implements Transport: frame the message onto the source location's
+// connection, dialing it on first use.  Dial and write failures are dropped
+// silently — during teardown they are expected noise, and outside teardown
+// a lost signal surfaces as an undelivered channel head, which the
+// conformance checkers flag.
+func (t *TCPTransport) Send(l Link, payload string) {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		return
+	}
+	w, ok := t.conns[l.From]
+	if !ok {
+		conn, err := net.Dial("tcp", t.ln.Addr().String())
+		if err != nil {
+			t.mu.Unlock()
+			return
+		}
+		t.raw = append(t.raw, conn)
+		w = bufio.NewWriter(conn)
+		t.conns[l.From] = w
+	}
+	_ = writeFrame(w, l, payload)
+	t.mu.Unlock()
+}
+
+// Partition implements Transport.
+func (t *TCPTransport) Partition(mask uint64) {
+	t.mu.Lock()
+	t.mask = mask
+	var release []Link
+	for l, n := range t.held {
+		if !crossSide(mask, l) {
+			for i := 0; i < n; i++ {
+				release = append(release, l)
+			}
+			delete(t.held, l)
+		}
+	}
+	deliver := t.deliver
+	stopped := t.stopped
+	t.mu.Unlock()
+	if stopped || deliver == nil {
+		return
+	}
+	for _, l := range release {
+		deliver(l)
+	}
+}
+
+// Stop implements Transport: close the listener and every connection, then
+// wait for the accept and reader goroutines so no deliver callback outlives
+// the call.
+func (t *TCPTransport) Stop() {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		return
+	}
+	t.stopped = true
+	conns := t.raw
+	t.raw = nil
+	t.held = map[Link]int{}
+	t.mu.Unlock()
+	t.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+}

@@ -25,6 +25,13 @@ import (
 // delivered message strings are released immediately and the buffer is
 // bounded by the in-flight high-water mark, not by the total number of
 // messages ever sent (see TestChannelReleasesDeliveredMessages).
+//
+// Concurrency (audited for the live backend): the ring, the send counter,
+// and the shared Net log are unsynchronized by design — like every
+// automaton, a Channel is stepped by exactly one serialized driver (the
+// simulated scheduler, or the live runtime's step lock).  The telemetry
+// sink is the one member that must be concurrency-safe, and the Sink
+// contract already requires that.
 type Channel struct {
 	From, To ioa.Loc
 	queue    ring[string]

@@ -114,6 +114,13 @@ const MaxNetLog = 256
 // to record the non-deliver link decisions for the run's artifact.  Clones
 // share the instance too — the chaos machinery runs one line of execution
 // per net, like TrackedChannel's SendClock.
+//
+// Concurrency (audited for the live backend): the event log is appended by
+// Channel.Input with no synchronization of its own, on the assumption of a
+// single serialized stepper — the simulated scheduler loop, or the live
+// runtime's step lock, under which every channel Input runs.  Outcome
+// decisions themselves are pure (stateless), so only the informational log
+// depends on this.
 type Net struct {
 	Spec   NetSpec
 	events []trace.LinkEvent

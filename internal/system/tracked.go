@@ -10,6 +10,13 @@ import (
 // stamps every enqueued message with its global send order.  Stamps are a
 // deterministic function of the schedule, so runs over tracked channels
 // replay exactly.
+//
+// Concurrency (audited for the live backend): the counter is a plain
+// uint64, deliberately unsynchronized — it is driven by exactly one
+// serialized stepper, either a simulated scheduler loop or the live
+// runtime's step lock (internal/live serializes every automaton step, and
+// only builds lifo=false targets, which don't use tracked channels at
+// all).  Concurrent steppers over one clock are out of contract.
 type SendClock struct{ now uint64 }
 
 // NewSendClock returns a clock starting at zero.

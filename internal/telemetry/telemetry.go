@@ -80,6 +80,12 @@ const (
 	// CValenceReduceRounds counts reduction proviso analysis rounds (cycle
 	// and bivalent-completeness re-expansion fixpoint).
 	CValenceReduceRounds
+	// CLiveSignals counts message-delivery signals the live runtime handed
+	// to its transport (one per message enqueued on a channel automaton).
+	CLiveSignals
+	// CLiveNudges counts live service wakeups triggered by a fired action's
+	// delivery candidates (as opposed to heartbeat-interval wakeups).
+	CLiveNudges
 	// GValenceFrontier is the current exploration frontier width.
 	GValenceFrontier
 	// GValenceFrontierPeak is the high-water frontier width of the run.
@@ -89,6 +95,9 @@ const (
 	// GPartitionActive is 1 while a partition gate is splitting the
 	// system, 0 otherwise.
 	GPartitionActive
+	// GLiveServices is the number of automaton service goroutines a live
+	// runtime is currently running.
+	GLiveServices
 	// HChannelDepth is the distribution of channel queue depths observed at
 	// each enqueue (in-flight messages per §4.3 FIFO channel).
 	HChannelDepth
@@ -126,10 +135,13 @@ var metricNames = [numMetrics]string{
 	CValencePruned:       "valence_pruned",
 	CValenceSleepHits:    "valence_sleep_hits",
 	CValenceReduceRounds: "valence_reduce_rounds",
+	CLiveSignals:         "live_signals",
+	CLiveNudges:          "live_nudges",
 	GValenceFrontier:     "valence_frontier",
 	GValenceFrontierPeak: "valence_frontier_peak",
 	GValenceWorkers:      "valence_workers",
 	GPartitionActive:     "partition_active",
+	GLiveServices:        "live_services",
 	HChannelDepth:        "channel_depth",
 	HOracleSweepNs:       "oracle_sweep_ns",
 	HPartitionSteps:      "partition_steps",
@@ -145,6 +157,7 @@ var isGauge = [numMetrics]bool{
 	GValenceFrontierPeak: true,
 	GValenceWorkers:      true,
 	GPartitionActive:     true,
+	GLiveServices:        true,
 }
 
 // Category classifies trace events for the Chrome trace "cat" field.
@@ -158,6 +171,7 @@ const (
 	CatOracle                  // differential-oracle sweeps
 	CatValence                 // execution-tree engine: expansions, rounds, phases
 	CatChaos                   // chaos runner: one span per executed run
+	CatLive                    // live runtime: service wakeups, transport signals
 	numCategories
 )
 
@@ -168,6 +182,7 @@ var categoryNames = [numCategories]string{
 	CatOracle:  "oracle",
 	CatValence: "valence",
 	CatChaos:   "chaos",
+	CatLive:    "live",
 }
 
 // Name returns the category's Chrome-trace "cat" value.

@@ -312,10 +312,12 @@ func TestInitTraceOut(t *testing.T) {
 func TestServeEndpoints(t *testing.T) {
 	reg := NewRegistry()
 	reg.Count(CEventsApplied, 9)
-	addr, err := Serve("127.0.0.1:0", reg)
+	srv, err := Serve("127.0.0.1:0", reg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
+	addr := srv.Addr()
 	get := func(path string) []byte {
 		t.Helper()
 		resp, err := http.Get("http://" + addr + path)
