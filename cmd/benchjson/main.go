@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/afd"
+	"repro/internal/causal"
 	"repro/internal/chaos"
 	"repro/internal/ioa"
 	"repro/internal/live"
@@ -122,6 +123,28 @@ type liveResult struct {
 	SuspicionNsMean float64 `json:"suspicion_ns_mean"`
 }
 
+// qosResult is one detector-QoS analytics row: causal.Compute over every
+// repetition's recorded trace, aggregated per family by causal.Summarize.
+// Three modes share the schema: "sim" (size sweep under the randomized
+// simulator scheduler), "grid" (the E19 chaos cells: drop rate × topology at
+// fixed n), and "live" (real goroutines, wall-clock stamped, per transport —
+// the only mode with Ns figures).
+type qosResult struct {
+	Mode      string `json:"mode"`
+	N         int    `json:"n"`
+	Target    string `json:"target"`
+	Sched     string `json:"sched,omitempty"`
+	Transport string `json:"transport,omitempty"`
+	Topo      string `json:"topo,omitempty"`
+	Drop      int    `json:"drop_permille,omitempty"`
+	// SpecViolations counts repetitions whose checker verdict failed — under
+	// heavy loss plain gossip legitimately loses strong completeness (the
+	// E17 survival result), and the QoS of the surviving detections is
+	// exactly what the row measures.
+	SpecViolations int              `json:"spec_violations,omitempty"`
+	Families       []causal.Summary `json:"families"`
+}
+
 // report is the BENCH_pr.json schema.
 type report struct {
 	Experiment string          `json:"experiment"`
@@ -137,6 +160,11 @@ type report struct {
 	// goroutines and timers, whose variance on shared CI boxes dwarfs any
 	// tolerance a useful gate could use.
 	Live []liveResult `json:"live,omitempty"`
+	// QoS rows are analytics, not timings: detection latency, mistake rate,
+	// and propagation spread are properties of the recorded traces, so they
+	// are reported for cross-PR comparison but not gated (schedule- and
+	// wall-clock-dependent distributions, not deterministic figures).
+	QoS []qosResult `json:"qos,omitempty"`
 	// Telemetry is a metric snapshot from one fully instrumented pass (E1
 	// n=8 with an attached differential oracle, plus one telemetered valence
 	// exploration) run AFTER the timed reps above, so the timings stay
@@ -252,6 +280,170 @@ func liveRow(n, reps int) (liveResult, error) {
 		row.SuspicionNsMean = lsum / float64(len(lat))
 	}
 	return row, nil
+}
+
+// gossipQoSTarget is the stack every QoS row drives: the gossiping mesh
+// running ◇Q boosted to ◇P at each location — the composition whose
+// detection and propagation figures EXPERIMENTS.md E19 plots.
+func gossipQoSTarget() (chaos.Target, error) {
+	return chaos.ParseTarget("gossip:" + afd.FamilyEvQ + ">" + afd.FamilyEvP)
+}
+
+// qosSimRow measures one simulated QoS row: reps runs of the gossip stack at
+// size n under the randomized scheduler (seeds 1..reps so the aggregate is a
+// distribution, not one schedule), each crashing location n-1.
+func qosSimRow(n, reps int) (qosResult, error) {
+	target, err := gossipQoSTarget()
+	if err != nil {
+		return qosResult{}, err
+	}
+	row := qosResult{Mode: "sim", N: n, Target: target.ID(), Sched: chaos.SchedRandom}
+	var all []causal.Stats
+	for r := 0; r < reps; r++ {
+		v, err := chaos.Execute(chaos.Run{
+			Target: target,
+			N:      n,
+			Plan:   system.CrashOf(ioa.Loc(n - 1)),
+			Sched:  chaos.SchedRandom,
+			Seed:   int64(r + 1),
+		})
+		if err != nil {
+			return row, err
+		}
+		if v.Failed() {
+			row.SpecViolations++
+		}
+		all = append(all, causal.Compute(v.Trace, nil)...)
+	}
+	row.Families = causal.Summarize(all)
+	return row, nil
+}
+
+// qosGridRow measures one E19 chaos cell: reps runs at n=4 over the named
+// topology with the given per-link drop rate, varying both scheduler and
+// link seeds per rep.
+func qosGridRow(topoName string, drop, reps int) (qosResult, error) {
+	const n = 4
+	target, err := gossipQoSTarget()
+	if err != nil {
+		return qosResult{}, err
+	}
+	row := qosResult{Mode: "grid", N: n, Target: target.ID(),
+		Sched: chaos.SchedRandom, Topo: topoName, Drop: drop}
+	var all []causal.Stats
+	for r := 0; r < reps; r++ {
+		topo, err := system.ParseTopology(n, topoName)
+		if err != nil {
+			return row, err
+		}
+		net := system.NetSpec{Topo: topo, Drop: drop}
+		if net.Lossy() {
+			net.Seed = int64(r + 1)
+		}
+		v, err := chaos.Execute(chaos.Run{
+			Target: target,
+			N:      n,
+			Plan:   system.CrashOf(n - 1),
+			Net:    net,
+			Sched:  chaos.SchedRandom,
+			Seed:   int64(r + 1),
+		})
+		if err != nil {
+			return row, err
+		}
+		if v.Failed() {
+			row.SpecViolations++
+		}
+		all = append(all, causal.Compute(v.Trace, nil)...)
+	}
+	row.Families = causal.Summarize(all)
+	return row, nil
+}
+
+// qosLiveRow measures one live QoS row: reps checker-judged, replay-validated
+// live executions at n=4 on the named transport, QoS computed from the
+// stamped traces so detection and propagation carry wall-clock figures.
+func qosLiveRow(transport string, reps int) (qosResult, error) {
+	const n = 4
+	target, err := gossipQoSTarget()
+	if err != nil {
+		return qosResult{}, err
+	}
+	row := qosResult{Mode: "live", N: n, Target: target.ID(), Transport: transport}
+	var all []causal.Stats
+	for r := 0; r < reps; r++ {
+		opts := live.Options{
+			Seed:     int64(r + 1),
+			MaxSteps: chaos.DefaultSteps(n),
+			Duration: 10 * time.Second,
+		}
+		if transport == "tcp" {
+			tr, err := live.NewTCPTransport()
+			if err != nil {
+				return row, err
+			}
+			opts.Transport = tr
+		}
+		rep, err := live.RunTarget(live.RunSpec{
+			Target: target,
+			N:      n,
+			Plan:   system.CrashOf(n - 1),
+			Opts:   opts,
+		})
+		if err != nil {
+			return row, err
+		}
+		if rep.VerdictErr != nil {
+			return row, fmt.Errorf("qos live %s rep %d: checker rejected: %w", transport, r, rep.VerdictErr)
+		}
+		if rep.ReplayErr != nil {
+			return row, fmt.Errorf("qos live %s rep %d: replay diverged: %w", transport, r, rep.ReplayErr)
+		}
+		all = append(all, causal.Compute(rep.Result.Trace, rep.Result.Stamps)...)
+	}
+	row.Families = causal.Summarize(all)
+	return row, nil
+}
+
+// qosSection assembles the full QoS table: the size sweep, the E19
+// drop-rate × topology grid, and both live transports.
+func qosSection(reps int) ([]qosResult, error) {
+	var rows []qosResult
+	for _, n := range []int{4, 8, 16, 32} {
+		row, err := qosSimRow(n, reps)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	for _, topo := range []string{"full", "ring"} {
+		for _, drop := range []int{0, 150, 300} {
+			row, err := qosGridRow(topo, drop, reps)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	for _, transport := range []string{"chan", "tcp"} {
+		row, err := qosLiveRow(transport, reps)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// boosted returns the row's summary for the boosted family (the detector the
+// stack ultimately provides), which the progress line reports.
+func boosted(row qosResult) causal.Summary {
+	for _, s := range row.Families {
+		if s.Family == afd.FamilyEvP {
+			return s
+		}
+	}
+	return causal.Summary{}
 }
 
 // telemetrySection performs the single instrumented pass feeding the
@@ -478,6 +670,31 @@ func main() {
 		fmt.Printf("live n=%-3d %d events in %v (%.0f events/sec, suspicion %.2fms best / %.2fms mean)\n",
 			n, row.Events, time.Duration(row.NsBest), row.EventsPerSec,
 			float64(row.SuspicionNsBest)/1e6, row.SuspicionNsMean/1e6)
+	}
+	qosRows, err := qosSection(*reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: qos: %v\n", err)
+		os.Exit(1)
+	}
+	rep.QoS = qosRows
+	for _, row := range qosRows {
+		b := boosted(row)
+		where := row.Sched
+		if row.Mode == "grid" {
+			where = fmt.Sprintf("%s drop=%d", row.Topo, row.Drop)
+		} else if row.Mode == "live" {
+			where = row.Transport
+		}
+		line := fmt.Sprintf("qos %-4s n=%-3d %-14s %s: %d detections (mean %.1f / max %d steps), propagation mean %.1f steps, %.1f mistakes/run",
+			row.Mode, row.N, where, b.Family, b.Detections,
+			b.DetectionMeanSteps, b.DetectionMaxSteps, b.PropagationMeanSteps, b.MistakesPerRun)
+		if row.SpecViolations > 0 {
+			line += fmt.Sprintf(", %d spec violations", row.SpecViolations)
+		}
+		if b.DetectionMeanNs > 0 {
+			line += fmt.Sprintf(", detection %.2fms mean wall-clock", b.DetectionMeanNs/1e6)
+		}
+		fmt.Println(line)
 	}
 	snap, err := telemetrySection(reg, *steps)
 	if err != nil {

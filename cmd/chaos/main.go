@@ -14,7 +14,7 @@
 //	             [-seed 1] [-steps 0] [-crash-after 0] [-crash-gap 0]
 //	             [-delay-nth 0] [-delay-for 0] [-topo ring] [-drop 100]
 //	             [-dup 0] [-reorder 0] [-net-seed 1] [-partition-mask 3]
-//	             [-partition-at 0] [-heal-at 0] [-out artifact.json]
+//	             [-partition-at 0] [-heal-at 0] [-out artifact.json] [-qos]
 //	    Execute one fully specified run — optionally over an adversarial
 //	    network (restricted topology, lossy links, partition window) —
 //	    and print the verdict.
@@ -48,6 +48,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/causal"
 	"repro/internal/chaos"
 	"repro/internal/ioa"
 	"repro/internal/system"
@@ -194,6 +195,7 @@ func runOne(args []string) error {
 		partAt     = fs.Int("partition-at", 0, "gate: partition engages at this step")
 		healAt     = fs.Int("heal-at", 0, "gate: partition heals at this step (≤ partition-at: never)")
 		outFile    = fs.String("out", "", "write the run as an artifact to this file")
+		qos        = fs.Bool("qos", false, "print per-detector QoS analytics for the run")
 		telAddr    = fs.String("telemetry.addr", "", "serve expvar+pprof+metrics on this address")
 		traceOut   = fs.String("trace.out", "", "write a Chrome trace_event JSON file on exit")
 	)
@@ -243,6 +245,13 @@ func runOne(args []string) error {
 		return err
 	}
 	fmt.Printf("%s: %d steps (%s), %d trace events\n", t.ID(), v.Steps, v.Reason, len(v.Trace))
+	if *qos {
+		for _, s := range causal.Compute(v.Trace, nil) {
+			fmt.Printf("qos %s: %d observers, %d detections (mean %.1f / max %d steps), propagation %d steps, %d mistakes\n",
+				s.Family, s.Observers, len(s.Detections),
+				s.DetectionMeanSteps, s.DetectionMaxSteps, s.PropagationSteps, s.MistakeCount)
+		}
+	}
 	if *outFile != "" {
 		a := v.Artifact()
 		// Cross-link artifact and Chrome trace both ways when both exist.

@@ -1,5 +1,5 @@
 // Command experiments regenerates every experiment table in EXPERIMENTS.md
-// (E1–E18 of DESIGN.md).  All runs are seeded and deterministic.
+// (E1–E19 of DESIGN.md).  All runs are seeded and deterministic.
 //
 // Usage:
 //
@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/afd"
+	"repro/internal/causal"
 	"repro/internal/chaos"
 	"repro/internal/consensus"
 	"repro/internal/ioa"
@@ -88,6 +89,7 @@ func main() {
 		{"E16", "broadcast problems: URB (§1.1) and TRB (§7.3)", e16Broadcast},
 		{"E17", "property survival under adversarial networks (relaxed §2.3 channels)", e17Survey},
 		{"E18", "partial-order reduction: pruning ratio and the n=4 hook search", e18PORHooks},
+		{"E19", "detector QoS vs drop rate and topology (causal analytics)", e19QoS},
 	}
 	failed := 0
 	for _, e := range exps {
@@ -769,6 +771,87 @@ func e18PORHooks() error {
 		}
 		fmt.Printf("%-22s %-8s %-11d %-11d %-11d %-8s %-8d %-10s\n",
 			r.name, onoff, st.Nodes, st.Edges, st.PrunedSteps, ratio, len(hooks), verd)
+	}
+	return nil
+}
+
+// e19QoS measures the detector quality-of-service of the gossip ◇Q>◇P
+// stack across the E19 grid: per-link drop rate × topology at n=4, plus a
+// reliable-full-mesh size sweep.  Each cell aggregates several seeded
+// randomized runs; the figures are the causal package's analytics —
+// detection latency (crash → permanent suspicion per observer),
+// propagation spread (first to last observer), and mistake rate — over the
+// boosted ◇P outputs.
+func e19QoS() error {
+	const reps = 3
+	target, err := chaos.ParseTarget("gossip:" + afd.FamilyEvQ + ">" + afd.FamilyEvP)
+	if err != nil {
+		return err
+	}
+	// A spec-failing run is a data point, not an infrastructure error: heavy
+	// loss legitimately costs plain gossip strong completeness (the E17
+	// survey's finding), and the QoS figures of the surviving detections are
+	// exactly what E19 plots.  Only Execute errors abort.
+	cell := func(n int, topoName string, drop int) (causal.Summary, int, error) {
+		var all []causal.Stats
+		violations := 0
+		for r := 0; r < reps; r++ {
+			topo, err := system.ParseTopology(n, topoName)
+			if err != nil {
+				return causal.Summary{}, 0, err
+			}
+			net := system.NetSpec{Topo: topo, Drop: drop}
+			if net.Lossy() {
+				net.Seed = int64(r + 1)
+			}
+			v, err := chaos.Execute(chaos.Run{
+				Target: target, N: n,
+				Plan:  system.CrashOf(ioa.Loc(n - 1)),
+				Net:   net,
+				Sched: chaos.SchedRandom, Seed: int64(r + 1),
+			})
+			if err != nil {
+				return causal.Summary{}, 0, err
+			}
+			if v.Failed() {
+				violations++
+			}
+			all = append(all, causal.Compute(v.Trace, nil)...)
+		}
+		for _, s := range causal.Summarize(all) {
+			if s.Family == afd.FamilyEvP {
+				return s, violations, nil
+			}
+		}
+		return causal.Summary{}, violations, fmt.Errorf("n=%d %s drop=%d: no %s outputs", n, topoName, drop, afd.FamilyEvP)
+	}
+	fmt.Printf("%-6s %-6s %-6s %-10s %-12s %-12s %-12s %-10s %-10s\n",
+		"n", "topo", "drop", "detects", "det-mean", "det-max", "prop-mean", "mist/run", "spec")
+	row := func(n int, topoName string, drop int) error {
+		s, violations, err := cell(n, topoName, drop)
+		if err != nil {
+			return err
+		}
+		spec := "ok"
+		if violations > 0 {
+			spec = fmt.Sprintf("%d/%d FAIL", violations, reps)
+		}
+		fmt.Printf("%-6d %-6s %-6d %-10d %-12.1f %-12d %-12.1f %-10.2f %-10s\n",
+			n, topoName, drop, s.Detections, s.DetectionMeanSteps,
+			s.DetectionMaxSteps, s.PropagationMeanSteps, s.MistakesPerRun, spec)
+		return nil
+	}
+	for _, topoName := range []string{"full", "ring"} {
+		for _, drop := range []int{0, 150, 300} {
+			if err := row(4, topoName, drop); err != nil {
+				return err
+			}
+		}
+	}
+	for _, n := range []int{8, 16} {
+		if err := row(n, "full", 0); err != nil {
+			return err
+		}
 	}
 	return nil
 }

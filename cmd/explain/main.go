@@ -1,0 +1,263 @@
+// Command explain answers "why does i suspect j?" for any recorded run.
+//
+// It reads a replayable artifact (simulated, chaos, or live), rebuilds the
+// happens-before DAG by re-executing the trace under the differential
+// oracle — every send→deliver edge cross-checked against the channel
+// shadows and the artifact's NetLog — and prints the minimal causal chain
+// from the suspicion's origin (the subject's crash, when it is in the
+// causal cone) to the FD-output transition that changed the suspect set.
+//
+// Usage:
+//
+//	explain -artifact run.json -why 0:3 [-at 412] [-removed] [-json]
+//	        [-trace flows.json] [-qos]
+//
+//	-why i:j     explain observer i's suspicion of subject j
+//	-at STEP     pick the transition at/nearest-before STEP (default: the
+//	             latest transition of i that adds — or with -removed,
+//	             removes — j)
+//	-removed     explain j leaving i's suspect set instead of entering it
+//	-json        emit the full machine-readable record (verification,
+//	             explanation, QoS stats) instead of text
+//	-trace FILE  also write a Chrome-trace JSON with the chain overlaid as
+//	             flow arrows (open in Perfetto)
+//	-qos         append per-family QoS analytics to the text output
+//
+// The exit status is non-zero if the artifact cannot be rebuilt, any
+// cross-check disagrees (tampered or corrupt record), or the requested
+// transition does not exist.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/causal"
+	"repro/internal/ioa"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "explain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	artifact := fs.String("artifact", "", "replayable artifact JSON (required)")
+	why := fs.String("why", "", "observer:subject pair, e.g. 0:3 (required)")
+	at := fs.Int("at", -1, "explain the transition at or nearest before this trace step (default: latest)")
+	removed := fs.Bool("removed", false, "explain the suspicion's removal rather than its addition")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	traceOut := fs.String("trace", "", "write a Chrome trace with the chain as flow arrows")
+	qos := fs.Bool("qos", false, "append QoS analytics to the text output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *artifact == "" || *why == "" {
+		fs.Usage()
+		return fmt.Errorf("-artifact and -why are required")
+	}
+	observer, subject, err := parseWhy(*why)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Open(*artifact)
+	if err != nil {
+		return err
+	}
+	a, err := trace.ReadArtifact(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	d, err := causal.Build(a)
+	if err != nil {
+		return fmt.Errorf("rebuilding %s: %w", *artifact, err)
+	}
+
+	tr, err := pickTransition(d, observer, subject, *at, *removed)
+	if err != nil {
+		return err
+	}
+	ex, err := d.Explain(*tr, subject)
+	if err != nil {
+		return err
+	}
+
+	if *traceOut != "" {
+		if err := writeFlows(*traceOut, d, ex); err != nil {
+			return err
+		}
+	}
+
+	if *asJSON {
+		rec := struct {
+			Artifact     string              `json:"artifact"`
+			Target       string              `json:"target"`
+			N            int                 `json:"n"`
+			Sched        string              `json:"sched"`
+			Verification causal.Verification `json:"verification"`
+			Explanation  *causal.Explanation `json:"explanation"`
+			QoS          []causal.Stats      `json:"qos"`
+		}{*artifact, a.Target, a.N, a.Sched, d.Verification, ex,
+			causal.Compute(d.Events, d.Stamps)}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	} else {
+		printText(a, d, ex)
+		if *qos {
+			printQoS(d)
+		}
+	}
+
+	if !d.Verification.Ok() {
+		return fmt.Errorf("verification failed: %d/%d message edges confirmed, %d diffs",
+			d.Verification.VerifiedEdges, d.Verification.MessageEdges,
+			len(d.Verification.Diffs))
+	}
+	return nil
+}
+
+func parseWhy(s string) (observer, subject ioa.Loc, err error) {
+	i, j, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("-why wants observer:subject, got %q", s)
+	}
+	oi, err1 := strconv.Atoi(i)
+	sj, err2 := strconv.Atoi(j)
+	if err1 != nil || err2 != nil || oi < 0 || sj < 0 {
+		return 0, 0, fmt.Errorf("-why wants two non-negative integers, got %q", s)
+	}
+	return ioa.Loc(oi), ioa.Loc(sj), nil
+}
+
+// pickTransition selects the transition to explain: the latest FD output of
+// observer that adds (or, with removed, removes) subject at or before step
+// at; at < 0 means anywhere in the trace.
+func pickTransition(d *causal.DAG, observer, subject ioa.Loc, at int, removed bool) (*causal.Transition, error) {
+	trs := d.Transitions()
+	var pick *causal.Transition
+	for i := range trs {
+		tr := &trs[i]
+		if tr.Observer != observer {
+			continue
+		}
+		if at >= 0 && tr.Event > at {
+			break
+		}
+		set := tr.Added
+		if removed {
+			set = tr.Removed
+		}
+		for _, l := range set {
+			if l == subject {
+				pick = tr
+			}
+		}
+	}
+	if pick == nil {
+		verb := "added"
+		if removed {
+			verb = "removed"
+		}
+		window := ""
+		if at >= 0 {
+			window = fmt.Sprintf(" by step %d", at)
+		}
+		return nil, fmt.Errorf("observer %d never %s suspicion of %d%s",
+			observer, verb, subject, window)
+	}
+	return pick, nil
+}
+
+func printText(a *trace.Artifact, d *causal.DAG, ex *causal.Explanation) {
+	verb := "started suspecting"
+	if !ex.Added {
+		verb = "stopped suspecting"
+	}
+	fmt.Printf("%s (n=%d, sched=%s): observer %d %s %d at step %d [%s]\n",
+		a.Target, a.N, a.Sched, ex.Transition.Observer, verb, ex.Subject,
+		ex.Transition.Event, ex.Transition.Family)
+	if ex.OriginIsCrash {
+		fmt.Printf("rooted in the subject's crash (event %d); causal cone: %d events\n",
+			ex.Origin, ex.ConeSize)
+	} else {
+		fmt.Printf("NOT rooted in a crash of %d (a timing mistake or refutation); causal cone: %d events\n",
+			ex.Subject, ex.ConeSize)
+	}
+	fmt.Printf("minimal chain (%d links):\n", len(ex.Chain))
+	for _, link := range ex.Chain {
+		stamp := ""
+		if link.StampNs >= 0 {
+			stamp = fmt.Sprintf("  @%.3fms", float64(link.StampNs)/1e6)
+		}
+		fmt.Printf("  [%5d] loc %-3d %s%s\n", link.Event, link.Loc, link.Action, stamp)
+		if link.EdgeToNext != "" {
+			mark := "✓"
+			if !link.EdgeVerified {
+				mark = "✗ UNVERIFIED"
+			}
+			fmt.Printf("          └─%s─▶ %s\n", link.EdgeToNext, mark)
+		}
+	}
+	v := d.Verification
+	status := "OK"
+	if !v.Ok() {
+		status = "FAILED"
+	}
+	fmt.Printf("verification %s: %d/%d message edges oracle-confirmed, %d oracle events, %d diffs\n",
+		status, v.VerifiedEdges, v.MessageEdges, v.OracleEvents, len(v.Diffs))
+	for _, diff := range v.Diffs {
+		fmt.Printf("  diff: %s\n", diff)
+	}
+}
+
+func printQoS(d *causal.DAG) {
+	stats := causal.Compute(d.Events, d.Stamps)
+	if len(stats) == 0 {
+		fmt.Println("qos: no FD outputs in the trace")
+		return
+	}
+	for _, s := range stats {
+		fmt.Printf("qos %s: %d observers, %d detections (mean %.1f / max %d steps), propagation %d steps, %d mistakes",
+			s.Family, s.Observers, len(s.Detections),
+			s.DetectionMeanSteps, s.DetectionMaxSteps, s.PropagationSteps, s.MistakeCount)
+		if s.MistakeCount > 0 {
+			fmt.Printf(" (mean %.1f / max %d steps)", s.MistakeMeanSteps, s.MistakeMaxSteps)
+		}
+		if s.DetectionMaxNs > 0 {
+			fmt.Printf("; wall-clock detection mean %.3fms max %.3fms",
+				s.DetectionMeanNs/1e6, float64(s.DetectionMaxNs)/1e6)
+		}
+		fmt.Println()
+	}
+}
+
+// writeFlows renders the chain into a Chrome-trace JSON: instants on each
+// involved location's track plus flow arrows across every message edge.
+func writeFlows(path string, d *causal.DAG, ex *causal.Explanation) error {
+	reg := telemetry.NewRegistry()
+	causal.EmitFlows(reg, d, ex)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.Trace().WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

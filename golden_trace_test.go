@@ -246,39 +246,49 @@ func TestGoldenCrossEngineReplay(t *testing.T) {
 
 // TestGoldenTracesTelemetryOn re-runs representative pinned cases with the
 // full telemetry plane attached — system sink, channel instrumentation,
-// scheduler counters — and requires the SAME golden hashes as the metered-off
-// runs.  This is the "attaching telemetry never perturbs scheduling"
-// guarantee: instrumentation is strictly read-only, so the trace and final
-// state must stay byte-identical.
+// scheduler counters, and the suspicion-observer gate — and requires the
+// SAME golden hashes as the metered-off runs.  This is the "attaching
+// telemetry never perturbs scheduling" guarantee: instrumentation is
+// strictly read-only (the observer gate always admits), so the trace and
+// final state must stay byte-identical.
 func TestGoldenTracesTelemetryOn(t *testing.T) {
 	cases := []struct {
 		name string
-		run  func(t testing.TB, reg *telemetry.Registry) *ioa.System
+		// wantSusp: the composition emits suspect-set outputs, so the observer
+		// gate must count additions (Ω emits leader picks, which it skips).
+		wantSusp bool
+		run      func(t testing.TB, reg *telemetry.Registry) *ioa.System
 	}{
-		{"rr/detector/n4/crash1", func(t testing.TB, reg *telemetry.Registry) *ioa.System {
+		{"rr/detector/n4/crash1", true, func(t testing.TB, reg *telemetry.Registry) *ioa.System {
 			sys := detectorSystem(t, 4, system.CrashOf(1))
 			sys.SetTelemetry(reg)
 			system.InstrumentChannels(sys, reg)
 			sched.RoundRobin(sys, sched.Options{
-				MaxSteps: 600, Gate: sched.CrashesAfter(40, 20), Telemetry: reg,
+				MaxSteps:  600,
+				Gate:      sched.Gates(sched.CrashesAfter(40, 20), chaos.SuspicionGate(reg)),
+				Telemetry: reg,
 			})
 			return sys
 		}},
-		{"random/detector/n4/seed1", func(t testing.TB, reg *telemetry.Registry) *ioa.System {
+		{"random/detector/n4/seed1", true, func(t testing.TB, reg *telemetry.Registry) *ioa.System {
 			sys := detectorSystem(t, 4, system.CrashOf(1))
 			sys.SetTelemetry(reg)
 			system.InstrumentChannels(sys, reg)
 			sched.Random(sys, 1, sched.Options{
-				MaxSteps: 600, Gate: sched.CrashesAfter(40, 20), Telemetry: reg,
+				MaxSteps:  600,
+				Gate:      sched.Gates(sched.CrashesAfter(40, 20), chaos.SuspicionGate(reg)),
+				Telemetry: reg,
 			})
 			return sys
 		}},
-		{"random/consensus/n3/seed7", func(t testing.TB, reg *telemetry.Registry) *ioa.System {
+		{"random/consensus/n3/seed7", false, func(t testing.TB, reg *telemetry.Registry) *ioa.System {
 			sys := consensusSystem(t, 3, system.CrashOf(0))
 			sys.SetTelemetry(reg)
 			system.InstrumentChannels(sys, reg)
 			sched.Random(sys, 7, sched.Options{
-				MaxSteps: 2000, Gate: sched.CrashesAfter(50, 0), Telemetry: reg,
+				MaxSteps:  2000,
+				Gate:      sched.Gates(sched.CrashesAfter(50, 0), chaos.SuspicionGate(reg)),
+				Telemetry: reg,
 			})
 			return sys
 		}},
@@ -293,6 +303,16 @@ func TestGoldenTracesTelemetryOn(t *testing.T) {
 			if reg.Value(telemetry.CEventsApplied) != int64(sys.Steps()) {
 				t.Errorf("events_applied = %d, want %d (telemetry attached but not counting)",
 					reg.Value(telemetry.CEventsApplied), sys.Steps())
+			}
+			// Suspect-set cases crash a location under a complete detector,
+			// so the observer gate must have seen suspicions appear; detection
+			// latency is recorded once per (observer, crashed) pair.
+			if tc.wantSusp && reg.Value(telemetry.CSuspicionAdded) == 0 {
+				t.Error("suspicion observer attached but counted no additions")
+			}
+			if tc.wantSusp && (reg.Hist(telemetry.HDetectionLatency) == nil ||
+				reg.Hist(telemetry.HDetectionLatency).Count() == 0) {
+				t.Error("no detection latencies observed in a crashing run")
 			}
 		})
 	}

@@ -17,6 +17,18 @@ import "fmt"
 // real trace (e.g. deleting its crash events, Lemma 24) is certified by
 // replaying it.
 func ReplayTrace(sys *System, t []Action, isExternal func(Action) bool) (int, error) {
+	return ReplayTraceObserved(sys, t, isExternal, nil)
+}
+
+// ReplayTraceObserved is ReplayTrace with a pre-Apply observation hook:
+// observe (when non-nil) is called for each event with its index and the
+// owning automaton's index (-1 for external events) BEFORE the event is
+// applied, so the observer sees the pre-state — the point where per-event
+// metadata that depends on the not-yet-mutated composition (action
+// footprints, channel contents, enabled sets) must be sampled.  The causal
+// provenance engine builds its happens-before DAG through this hook.
+func ReplayTraceObserved(sys *System, t []Action, isExternal func(Action) bool,
+	observe func(idx, owner int, act Action)) (int, error) {
 	for idx, act := range t {
 		if isExternal != nil && isExternal(act) {
 			accepted := false
@@ -28,6 +40,9 @@ func ReplayTrace(sys *System, t []Action, isExternal func(Action) bool) (int, er
 			}
 			if !accepted {
 				return idx, fmt.Errorf("ioa: external event %d (%v) accepted by no automaton", idx, act)
+			}
+			if observe != nil {
+				observe(idx, -1, act)
 			}
 			sys.Apply(-1, act)
 			continue
@@ -41,6 +56,9 @@ func ReplayTrace(sys *System, t []Action, isExternal func(Action) bool) (int, er
 		}
 		if owner < 0 {
 			return idx, fmt.Errorf("ioa: event %d (%v) not enabled by any task", idx, act)
+		}
+		if observe != nil {
+			observe(idx, owner, act)
 		}
 		sys.Apply(owner, act)
 	}

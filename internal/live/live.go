@@ -90,9 +90,16 @@ type Result struct {
 	// Trace is the totally-ordered external event log — an execution trace
 	// of the composition, judged by the same checkers as simulated runs.
 	Trace trace.T
-	// Stamps holds one monotonic wall-clock timestamp (nanoseconds since
-	// Start) per Trace event, for latency measurements.
+	// Stamps holds one timing sample per Trace event: the nanoseconds
+	// elapsed from Start to the event on the monotonic clock — relative
+	// offsets into the run, not absolute wall-clock times.  Epoch anchors
+	// them to the wall: the run's Start instant in Unix nanoseconds.  Both
+	// are persisted in the run's trace.Artifact so wall-clock QoS can be
+	// recomputed offline from a replayed artifact.
 	Stamps []int64
+	// Epoch is the run's Start instant in Unix nanoseconds (the wall-clock
+	// anchor of the relative Stamps).
+	Epoch int64
 	// Elapsed is the wall time from Start to the end of the run.
 	Elapsed time.Duration
 	// Fair reports whether the run is a prefix of a fair execution: true
@@ -572,6 +579,7 @@ func (r *Runtime) Wait() Result {
 		Reason:  r.reason,
 		Trace:   append(trace.T(nil), r.sys.Trace()...),
 		Stamps:  append([]int64(nil), r.stamps...),
+		Epoch:   r.start.UnixNano(),
 		Elapsed: time.Since(r.start),
 		Fair:    !r.partOn,
 	}

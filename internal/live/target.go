@@ -98,6 +98,11 @@ func RunTarget(spec RunSpec) (*Report, error) {
 		Sched:  SchedLive,
 		Seed:   opts.Seed,
 		Crash:  spec.Plan.Crash,
+		// Persisting the per-event stamps and the wall-clock epoch makes the
+		// artifact self-sufficient for offline wall-clock QoS (detection
+		// time, mistake duration) — replay itself never consumes timing.
+		Stamps: res.Stamps,
+		Epoch:  res.Epoch,
 		Trace:  res.Trace,
 	}
 	if verdict != nil {

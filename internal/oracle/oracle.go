@@ -142,6 +142,24 @@ func (o *Oracle) Err() error {
 // Errs returns every recorded divergence, in observation order.
 func (o *Oracle) Errs() []error { return o.errs }
 
+// ShadowSeq returns the channel shadow's independently advanced send counter
+// for the directed link from→to, and whether a shadowed channel exists for
+// that pair (requires Options.Shadow).  The causal provenance engine uses it
+// to cross-check its own per-link FIFO pairing against the oracle's: after a
+// replay, both must have counted the same number of sends per link, or the
+// happens-before edges were derived from a different message sequence than
+// the one the shadow verified.
+func (o *Oracle) ShadowSeq(from, to ioa.Loc) (uint64, bool) {
+	if o.shadows == nil {
+		return 0, false
+	}
+	sh := o.shadows.byPair[locPair{from, to}]
+	if sh == nil {
+		return 0, false
+	}
+	return sh.seq, true
+}
+
 // Check runs a full sweep immediately — the end-of-run check that fires
 // regardless of where the event count sits in the stride — and returns Err.
 func (o *Oracle) Check() error {

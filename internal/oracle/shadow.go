@@ -69,10 +69,13 @@ func newShadowSet(sys *ioa.System) *shadowSet {
 		default:
 			continue
 		}
+		// seq mirrors the channel's send counter for every link (the causal
+		// engine cross-checks it via Oracle.ShadowSeq); only lossy links also
+		// consume it for decision drawing.
+		sh.seq = sh.ch.Sent()
 		if nt := sh.ch.Network(); nt != nil {
 			sh.hasNet = true
 			sh.spec = nt.Spec
-			sh.seq = sh.ch.Sent()
 		}
 		s.all = append(s.all, sh)
 		s.byPair[locPair{sh.ch.From, sh.ch.To}] = sh
@@ -100,8 +103,8 @@ func (s *shadowSet) step(o *Oracle, owner int, act ioa.Action) {
 		out := system.OutDeliver
 		if sh.hasNet {
 			out = sh.spec.Outcome(sh.ch.From, sh.ch.To, sh.seq)
-			sh.seq++
 		}
+		sh.seq++
 		var stamp uint64
 		if sh.tc != nil {
 			// The clock ticks on every send, even a dropped one (the

@@ -117,6 +117,8 @@ func NewRegistry() *Registry {
 	)
 	r.hists[HPartitionSteps] = NewHistogram(16, 64, 256, 1024, 4096, 16384)
 	r.hists[HAmpleSize] = NewHistogram(1, 2, 4, 8, 16, 32)
+	r.hists[HDetectionLatency] = NewHistogram(1, 4, 16, 64, 256, 1024, 4096, 16384)
+	r.hists[HMistakeDuration] = NewHistogram(1, 4, 16, 64, 256, 1024, 4096, 16384)
 	return r
 }
 
@@ -179,6 +181,18 @@ func (r *Registry) Span(cat Category, name string, startNs int64, tid int32, arg
 // Instant implements Sink.
 func (r *Registry) Instant(cat Category, name string, tid int32, arg int64) {
 	r.rec.Instant(cat, name, tid, arg)
+}
+
+var _ FlowSink = (*Registry)(nil)
+
+// FlowAt implements FlowSink.
+func (r *Registry) FlowAt(ph FlowPhase, cat Category, name string, id uint64, tsNs int64, tid int32) {
+	r.rec.FlowAt(ph, cat, name, id, tsNs, tid)
+}
+
+// InstantAt implements FlowSink.
+func (r *Registry) InstantAt(cat Category, name string, tsNs int64, tid int32, arg int64) {
+	r.rec.InstantAt(cat, name, tsNs, tid, arg)
 }
 
 // Now implements Sink.

@@ -13,15 +13,18 @@ import (
 // length: once the ring is full, each new event evicts the oldest.
 const DefaultTraceCap = 1 << 16
 
-// Event is one recorded trace event.  Dur == 0 marks an instantaneous event
-// (Chrome phase "i"); Dur > 0 a completed span (phase "X").  Timestamps are
-// nanoseconds on the package's monotonic clock.
+// Event is one recorded trace event.  When Ph is zero, Dur == 0 marks an
+// instantaneous event (Chrome phase "i") and Dur > 0 a completed span
+// (phase "X"); Ph 's' or 'f' marks a flow-arrow end (ID pairs the two
+// ends).  Timestamps are nanoseconds on the package's monotonic clock.
 type Event struct {
 	TS   int64
 	Dur  int64
 	Arg  int64
+	ID   uint64 // flow-arrow identity, meaningful when Ph is 's' or 'f'
 	Tid  int32
 	Cat  Category
+	Ph   byte // 0: derived from Dur; 's'/'f': flow start/finish
 	Name string
 }
 
@@ -57,6 +60,23 @@ func (r *Recorder) Span(cat Category, name string, startNs int64, tid int32, arg
 // Instant records an instantaneous event stamped now.
 func (r *Recorder) Instant(cat Category, name string, tid int32, arg int64) {
 	r.record(Event{TS: now(), Arg: arg, Tid: tid, Cat: cat, Name: name})
+}
+
+// FlowAt records one end of a flow arrow (Chrome ph "s"/"f") with identity
+// id at an explicit timestamp.  Explicit timestamps let post-hoc analyses —
+// the causal provenance engine annotating an already-recorded execution —
+// place arrows at the instants of the events they connect.
+func (r *Recorder) FlowAt(ph FlowPhase, cat Category, name string, id uint64, tsNs int64, tid int32) {
+	p := byte('s')
+	if ph == FlowFinish {
+		p = 'f'
+	}
+	r.record(Event{TS: tsNs, ID: id, Tid: tid, Cat: cat, Ph: p, Name: name})
+}
+
+// InstantAt records an instantaneous event at an explicit timestamp.
+func (r *Recorder) InstantAt(cat Category, name string, tsNs int64, tid int32, arg int64) {
+	r.record(Event{TS: tsNs, Arg: arg, Tid: tid, Cat: cat, Name: name})
 }
 
 func (r *Recorder) record(e Event) {
@@ -114,7 +134,9 @@ type chromeEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
-	S    string         `json:"s,omitempty"` // instant scope
+	S    string         `json:"s,omitempty"`  // instant scope
+	ID   uint64         `json:"id,omitempty"` // flow-arrow identity
+	BP   string         `json:"bp,omitempty"` // flow binding point ("e" on "f")
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -151,10 +173,20 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			Tid:  int(e.Tid),
 			Args: map[string]any{"arg": e.Arg},
 		}
-		if e.Dur > 0 {
+		switch {
+		case e.Ph == 's' || e.Ph == 'f':
+			ce.Ph = string(e.Ph)
+			ce.ID = e.ID
+			ce.Args = nil
+			if e.Ph == 'f' {
+				// Bind the arrowhead to the enclosing slice's start so
+				// Perfetto draws it even when no span follows the finish.
+				ce.BP = "e"
+			}
+		case e.Dur > 0:
 			ce.Ph = "X"
 			ce.Dur = float64(e.Dur) / 1e3
-		} else {
+		default:
 			ce.Ph = "i"
 			ce.S = "t"
 		}

@@ -86,6 +86,13 @@ const (
 	// CLiveNudges counts live service wakeups triggered by a fired action's
 	// delivery candidates (as opposed to heartbeat-interval wakeups).
 	CLiveNudges
+	// CSuspicionAdded counts suspicion-set additions offered by FD-output
+	// events (a location entering some observer's suspect set), observed by
+	// the admission-neutral suspicion gate (chaos.SuspicionGate).
+	CSuspicionAdded
+	// CSuspicionRemoved counts suspicion-set removals (a location leaving
+	// some observer's suspect set).
+	CSuspicionRemoved
 	// GValenceFrontier is the current exploration frontier width.
 	GValenceFrontier
 	// GValenceFrontierPeak is the high-water frontier width of the run.
@@ -110,6 +117,16 @@ const (
 	// HAmpleSize is the distribution of ample-set sizes (steps expanded) at
 	// reduced execution-tree nodes.
 	HAmpleSize
+	// HDetectionLatency is the distribution of detection latencies in
+	// scheduler steps: crash event → first suspicion of the crashed location
+	// at each observer (the step-indexed QoS figure; live runs report the
+	// wall-clock equivalent through the causal QoS layer, not this
+	// histogram).
+	HDetectionLatency
+	// HMistakeDuration is the distribution of wrong-suspicion interval
+	// lengths in scheduler steps: a live location entering and later leaving
+	// an observer's suspect set.
+	HMistakeDuration
 
 	numMetrics
 )
@@ -137,6 +154,8 @@ var metricNames = [numMetrics]string{
 	CValenceReduceRounds: "valence_reduce_rounds",
 	CLiveSignals:         "live_signals",
 	CLiveNudges:          "live_nudges",
+	CSuspicionAdded:      "suspicion_added",
+	CSuspicionRemoved:    "suspicion_removed",
 	GValenceFrontier:     "valence_frontier",
 	GValenceFrontierPeak: "valence_frontier_peak",
 	GValenceWorkers:      "valence_workers",
@@ -146,6 +165,8 @@ var metricNames = [numMetrics]string{
 	HOracleSweepNs:       "oracle_sweep_ns",
 	HPartitionSteps:      "partition_steps",
 	HAmpleSize:           "ample_size",
+	HDetectionLatency:    "detection_latency_steps",
+	HMistakeDuration:     "mistake_duration_steps",
 }
 
 // Name returns the metric's snapshot key.
@@ -172,6 +193,7 @@ const (
 	CatValence                 // execution-tree engine: expansions, rounds, phases
 	CatChaos                   // chaos runner: one span per executed run
 	CatLive                    // live runtime: service wakeups, transport signals
+	CatCausal                  // causal provenance: suspicion chains, flow arrows
 	numCategories
 )
 
@@ -183,6 +205,7 @@ var categoryNames = [numCategories]string{
 	CatValence: "valence",
 	CatChaos:   "chaos",
 	CatLive:    "live",
+	CatCausal:  "causal",
 }
 
 // Name returns the category's Chrome-trace "cat" value.
@@ -225,6 +248,34 @@ type Sink interface {
 // not tracing.
 type TraceSensing interface {
 	TracingActive() bool
+}
+
+// FlowPhase distinguishes the two ends of a Chrome trace flow arrow.
+type FlowPhase uint8
+
+// Flow-event phases, mapping to Chrome trace_event ph "s" (start) and
+// "f" (finish).  Perfetto draws an arrow from each start to the finish
+// sharing its id.
+const (
+	FlowStart FlowPhase = iota
+	FlowFinish
+)
+
+// FlowSink is an optional Sink extension for causality arrows: paired flow
+// events (Chrome trace ph "s"/"f") that renderers such as Perfetto draw as
+// arrows between threads.  The causal provenance engine uses it to overlay
+// suspicion-propagation chains — send event on the sender's track, matching
+// deliver on the receiver's — onto a recorded execution trace.  Both
+// methods take explicit timestamps (values from Now, or reconstructed
+// offsets) because provenance is computed post-hoc, after the events being
+// annotated.  Sinks that don't implement FlowSink simply don't render
+// arrows; instrumentation sites must type-assert and tolerate absence.
+type FlowSink interface {
+	// FlowAt records one end of a flow arrow with identity id at time tsNs
+	// on virtual thread tid.
+	FlowAt(ph FlowPhase, cat Category, name string, id uint64, tsNs int64, tid int32)
+	// InstantAt records an instantaneous trace event at an explicit time.
+	InstantAt(cat Category, name string, tsNs int64, tid int32, arg int64)
 }
 
 // epoch anchors the package's monotonic clock; all Recorder timestamps and

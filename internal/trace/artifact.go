@@ -66,9 +66,19 @@ type Artifact struct {
 	// Net records the adversarial network the run executed over (nil: the
 	// reliable full mesh); NetLog is the bounded log of its non-deliver
 	// link decisions.  Replays reconstruct the network from Net alone.
-	Net     *NetWire    `json:"net,omitempty"`
-	NetLog  []LinkEvent `json:"netLog,omitempty"`
-	Verdict string      `json:"verdict,omitempty"`
+	Net    *NetWire    `json:"net,omitempty"`
+	NetLog []LinkEvent `json:"netLog,omitempty"`
+	// Stamps, present on artifacts of live runs, holds one wall-clock
+	// timestamp per Trace event: nanoseconds elapsed from the run's start to
+	// the event (relative offsets, not absolute times).  Epoch anchors them:
+	// the run's start instant in Unix nanoseconds.  Together they let a
+	// replayed live artifact recompute wall-clock QoS (detection time,
+	// mistake duration, propagation latency) offline; simulated artifacts
+	// omit both and QoS falls back to step indices.  Informational for
+	// replay, which never consumes timing.
+	Stamps  []int64 `json:"stamps,omitempty"`
+	Epoch   int64   `json:"epoch,omitempty"`
+	Verdict string  `json:"verdict,omitempty"`
 	// TraceRef, when set, names the Chrome trace_event file recorded
 	// alongside this artifact (a relative path or URL).  The cross-link runs
 	// both ways: the telemetry trace carries the artifact path in its

@@ -55,6 +55,52 @@ func TestArtifactRoundTrip(t *testing.T) {
 	}
 }
 
+// TestArtifactStampsRoundTrip pins the live-run timing fields: one relative
+// nanosecond stamp per trace event plus the wall-clock epoch must survive
+// the wire, so a replayed live artifact can recompute wall-clock QoS
+// offline; a simulated artifact (no stamps) must omit both keys entirely.
+func TestArtifactStampsRoundTrip(t *testing.T) {
+	a := &Artifact{
+		Target: "gossip:FD-◇Q>FD-◇P",
+		N:      2,
+		Steps:  3,
+		Sched:  "live",
+		Trace: T{
+			ioa.Crash(1),
+			ioa.FDOutput("FD-◇P", 0, "{1}"),
+		},
+		Stamps: []int64{1_500, 2_000_000},
+		Epoch:  1_700_000_000_000_000_000,
+	}
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Stamps) != 2 || b.Stamps[0] != 1_500 || b.Stamps[1] != 2_000_000 {
+		t.Fatalf("stamps = %v, want [1500 2000000]", b.Stamps)
+	}
+	if b.Epoch != a.Epoch {
+		t.Fatalf("epoch = %d, want %d", b.Epoch, a.Epoch)
+	}
+	if len(b.Stamps) != len(b.Trace) {
+		t.Fatalf("stamps (%d) no longer parallel to trace (%d)", len(b.Stamps), len(b.Trace))
+	}
+
+	var sim bytes.Buffer
+	if err := WriteArtifact(&sim, &Artifact{Target: "t", N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"stamps"`, `"epoch"`} {
+		if strings.Contains(sim.String(), key) {
+			t.Errorf("simulated artifact serializes %s despite having none", key)
+		}
+	}
+}
+
 func TestArtifactVersionMismatch(t *testing.T) {
 	in := strings.NewReader(`{"version": 99, "target": "x"}`)
 	if _, err := ReadArtifact(in); err == nil {
